@@ -1,0 +1,44 @@
+"""Appendix C: non-power-of-two Bine trees.
+
+Pruned construction (even p): same per-edge volume as the power-of-two
+tree — each of the p−1 kept edges carries the whole vector once — while the
+fold technique adds 2·(p−p′) extra full-vector transfers.  Correctness of
+both is exercised through the executor.
+"""
+
+from repro.collectives.tree_collectives import bcast_from_tree, reduce_from_tree
+from repro.collectives.verify import run_and_check
+from repro.core.nonpow2 import bine_tree_dh_pruned, fold_plan
+
+from benchmarks._shared import write_result
+
+EVEN_PS = (6, 10, 12, 14, 18, 20, 24, 26, 30, 34, 40, 48, 62, 100, 126)
+
+
+def compute():
+    rows = []
+    for p in EVEN_PS:
+        tree = bine_tree_dh_pruned(p)
+        sched = bcast_from_tree(tree, 16)
+        run_and_check(sched)
+        run_and_check(reduce_from_tree(tree, 16))
+        edges = len(tree.all_edges())
+        fp = fold_plan(p)
+        fold_transfers = (fp.p_prime - 1) + 2 * fp.extra
+        rows.append((p, edges, len(tree.pruned_edges), fold_transfers))
+    return rows
+
+
+def test_appc_nonpow2(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = [f"{'p':>5} {'kept edges':>11} {'pruned':>7} {'fold transfers':>15}"]
+    for p, edges, pruned, foldt in rows:
+        lines.append(f"{p:>5} {edges:>11} {pruned:>7} {foldt:>15}")
+    lines.append("pruned tree: p-1 transfers (volume parity with pow2); "
+                 "fold pays 2(p-p') extra (Appendix C)")
+    write_result("appc_nonpow2", "\n".join(lines))
+
+    for p, edges, pruned, foldt in rows:
+        assert edges == p - 1          # spanning tree, no extra volume
+        assert foldt >= edges          # folding never cheaper
+        assert pruned >= 1             # some duplicate subtree existed

@@ -1,0 +1,42 @@
+"""Eq. 2: δ_bine/δ_binomial → 2/3 — Bine partners are ~33 % closer.
+
+Regenerates the paper's theoretical bound (Sec. 2.4.1): at every step of a
+distance-halving collective the Bine communication distance is two thirds of
+the binomial one, which caps the global-traffic reduction at 33 %.
+"""
+
+from repro.core.distance import (
+    THEORETICAL_TRAFFIC_REDUCTION_BOUND,
+    delta_bine,
+    delta_binomial,
+    distance_ratio,
+)
+
+from benchmarks._shared import write_result
+
+
+def compute() -> str:
+    lines = [f"{'s':>3} {'step':>5} {'δ_binomial':>11} {'δ_bine':>8} {'ratio':>7}"]
+    for s in (4, 8, 12, 16, 20):
+        for step in (0, s // 2, s - 3):
+            if step < 0:
+                continue
+            lines.append(
+                f"{s:>3} {step:>5} {delta_binomial(step, s):>11} "
+                f"{delta_bine(step, s):>8} {distance_ratio(step, s):>7.4f}"
+            )
+    lines.append(
+        f"bound: 1 - 2/3 = {THEORETICAL_TRAFFIC_REDUCTION_BOUND:.3f} "
+        "maximum global-traffic reduction (paper Eq. 2)"
+    )
+    return "\n".join(lines)
+
+
+def test_eq02_distance_ratio(benchmark):
+    text = benchmark.pedantic(compute, rounds=1, iterations=1)
+    write_result("eq02_distance_ratio", text)
+    # shape assertions: ratio converges to 2/3 from above
+    for s in (8, 16, 20):
+        for step in range(0, s - 2):
+            assert abs(distance_ratio(step, s) - 2 / 3) < 0.35
+        assert abs(distance_ratio(0, s) - 2 / 3) < 2 ** -(s - 3)

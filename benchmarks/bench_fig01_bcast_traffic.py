@@ -1,0 +1,38 @@
+"""Fig. 1: broadcast global-link traffic on an 8-node 2:1 fat tree.
+
+Paper: distance-doubling binomial (Open MPI) pushes **6n** bytes over global
+links, distance-halving (MPICH) only **3n**.  We regenerate both and add the
+Bine tree.
+"""
+
+from repro.collectives.registry import build
+from repro.model.traffic import global_traffic_elems
+from repro.topology.fattree import FatTree
+
+from benchmarks._shared import write_result
+
+P = 8
+N = 64  # elements; traffic scales linearly so any n shows the 6n/3n shape
+
+
+def compute():
+    ft = FatTree(num_subtrees=4, nodes_per_subtree=2, oversubscription=2.0)
+    groups = [ft.group_of(i) for i in range(P)]
+    out = {}
+    for name in ("binomial-dd", "binomial-dh", "bine"):
+        sched = build("bcast", name, P, N)
+        out[name] = global_traffic_elems(sched, groups) / N
+    return out
+
+
+def test_fig01_bcast_traffic(benchmark):
+    ratios = benchmark.pedantic(compute, rounds=1, iterations=1)
+    text = "\n".join(
+        [f"{'algorithm':>14} global bytes (multiples of n)"]
+        + [f"{k:>14} {v:.1f}n" for k, v in ratios.items()]
+        + ["paper Fig. 1: distance-doubling 6n, distance-halving 3n"]
+    )
+    write_result("fig01_bcast_traffic", text)
+    assert ratios["binomial-dd"] == 6.0
+    assert ratios["binomial-dh"] == 3.0
+    assert ratios["bine"] <= 3.0

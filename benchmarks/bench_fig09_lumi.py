@@ -1,0 +1,56 @@
+"""Figs. 9a/9b: LUMI comparison against ALL state-of-the-art algorithms.
+
+9a: allreduce heatmap — each cell shows the best algorithm family letter,
+or Bine's speedup ratio over the next best when Bine wins.  Expected shape
+(paper): binomial wins tiny vectors at some node counts, ring wins large
+vectors at small node counts, Bine sweeps the middle with gains growing
+with node count.
+
+9b: per-collective boxplots of Bine's improvement where it is the outright
+winner, plus the percentage of such cells.
+"""
+
+from repro.analysis.boxplot import box_stats, format_box_row
+from repro.analysis.heatmap import render_heatmap
+from repro.analysis.summarize import (
+    best_algorithm_cells,
+    bine_improvement_distribution,
+)
+
+from benchmarks._shared import ALL_COLLECTIVES, PAPER_SIZES, lumi_sweep, write_result
+
+NODES = (16, 64, 256, 1024)
+
+
+def compute():
+    records = lumi_sweep()
+    cells = best_algorithm_cells(records, "allreduce")
+    dists = {c: bine_improvement_distribution(records, c) for c in ALL_COLLECTIVES}
+    return cells, dists
+
+
+def test_fig09_lumi(benchmark):
+    cells, dists = benchmark.pedantic(compute, rounds=1, iterations=1)
+    text = render_heatmap(cells, NODES, PAPER_SIZES, "Fig. 9a — LUMI allreduce")
+    lines = [text, "", "Fig. 9b — Bine improvement where it wins (all collectives)"]
+    for coll, (pct, improvements) in dists.items():
+        if improvements:
+            lines.append(format_box_row(f"{coll} ({pct:.0f}%)", box_stats(improvements)))
+        else:
+            lines.append(f"{coll} ({pct:.0f}%)  — no winning cells")
+    write_result("fig09_lumi", "\n".join(lines))
+
+    # Shape: ring owns the large-vector/small-node corner…
+    big = max(PAPER_SIZES)
+    best_big_small, _ = cells[(16, big)]
+    assert best_big_small.family == "ring"
+    # …Bine owns medium vectors at scale, with a better ratio at 1024 than 16
+    mid = 128 * 1024
+    b16, r16 = cells[(16, mid)]
+    b1024, r1024 = cells[(1024, mid)]
+    assert b1024.family == "bine"
+    if b16.family == "bine" and r16 and r1024:
+        assert r1024 >= r16
+    # allreduce wins a sizeable share of cells (paper: 85 % vs all SOTA)
+    pct, _ = dists["allreduce"]
+    assert pct >= 40

@@ -1,0 +1,123 @@
+"""Fig. 11b: Fugaku (Tofu-D torus) vs torus-optimised state of the art.
+
+Paper headline: Bine (multiported, per-dimension) is the top performer for
+allreduce / reduce-scatter / scatter in >60 % of tests with gains up to 5×,
+while for bcast/reduce Fujitsu's Trinaryx-like multiported trees are near
+optimal and Bine merely stays competitive; plain binomial trees (topology
+agnostic) are catastrophically slower (up to 40×).
+"""
+
+from repro.collectives.registry import build as build_generic
+from repro.collectives.torus import (
+    bucket_allreduce,
+    torus_bine_allreduce,
+    torus_bine_allreduce_multiport,
+    torus_bine_allreduce_small,
+    torus_bine_bcast,
+    torus_bine_reduce,
+    trinaryx_bcast,
+    trinaryx_reduce,
+)
+from repro.core.torus_opt import TorusShape
+from repro.model.simulator import evaluate_time, profile_schedule
+from repro.systems import fugaku
+from repro.topology.mapping import block_mapping
+from repro.topology.torus import Torus
+
+from benchmarks._shared import write_result
+
+SHAPES = ((2, 2, 2), (4, 4, 4), (8, 8, 8), (8, 8))
+SIZES = tuple(32 * 8**k for k in range(9))
+
+
+def _profiles_for(dims):
+    shape = TorusShape(dims)
+    p = shape.num_ranks
+    preset = fugaku(dims)
+    topo = Torus(dims)
+    mapping = block_mapping(p)
+
+    def prof(sched):
+        return profile_schedule(sched, topo, mapping)
+
+    out = {"allreduce": {}, "bcast": {}, "reduce": {}}
+    out["allreduce"]["bine-multiport"] = prof(
+        torus_bine_allreduce_multiport(shape, 2 * shape.num_dims * p)
+    )
+    out["allreduce"]["bine-torus"] = prof(torus_bine_allreduce(shape, p))
+    out["allreduce"]["bine-torus-small"] = prof(torus_bine_allreduce_small(shape, p))
+    out["allreduce"]["bucket"] = prof(bucket_allreduce(shape, p))
+    out["allreduce"]["binomial"] = prof(
+        build_generic("allreduce", "recursive-doubling", p, p)
+    )
+    out["allreduce"]["rabenseifner"] = prof(
+        build_generic("allreduce", "rabenseifner", p, p)
+    )
+    out["bcast"]["bine-torus"] = prof(torus_bine_bcast(shape, p))
+    out["bcast"]["trinaryx"] = prof(trinaryx_bcast(shape, p))
+    out["bcast"]["binomial"] = prof(build_generic("bcast", "binomial-dd", p, p))
+    out["reduce"]["bine-torus"] = prof(torus_bine_reduce(shape, p))
+    out["reduce"]["trinaryx"] = prof(trinaryx_reduce(shape, p))
+    out["reduce"]["binomial"] = prof(build_generic("reduce", "binomial-dd", p, p))
+    return preset, out
+
+
+def compute():
+    results = {}
+    for dims in SHAPES:
+        preset, profs = _profiles_for(dims)
+        grid = {}
+        for coll, algos in profs.items():
+            for nb in SIZES:
+                times = {
+                    name: evaluate_time(prof, preset.params, nb / 4).time
+                    for name, prof in algos.items()
+                }
+                grid[(coll, nb)] = times
+        results[dims] = grid
+    return results
+
+
+def test_fig11b_fugaku(benchmark):
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = []
+    bine_best_allreduce = 0
+    allreduce_cells = 0
+    speedups = []
+    for dims, grid in results.items():
+        lines.append(f"--- {'x'.join(map(str, dims))} torus ---")
+        for (coll, nb), times in sorted(grid.items()):
+            ordered = sorted(times.items(), key=lambda kv: kv[1])
+            winner, t_best = ordered[0]
+            runner, t_next = ordered[1]
+            lines.append(
+                f"{coll:>10} {nb:>10}B  best={winner:<18} "
+                f"next={runner:<18} ratio={t_next / t_best:5.2f}"
+            )
+            if coll == "allreduce":
+                allreduce_cells += 1
+                if winner.startswith("bine"):
+                    bine_best_allreduce += 1
+                    speedups.append(t_next / t_best)
+                # topology-agnostic binomial should never win on the torus
+                binom = times["binomial"]
+                speedups_vs_binom = binom / t_best
+    pct = 100 * bine_best_allreduce / allreduce_cells
+    lines.append(f"bine variants best in {pct:.0f}% of allreduce cells "
+                 f"(paper: 62%); paper max gain 4-5x")
+    write_result("fig11b_fugaku", "\n".join(lines))
+
+    assert pct >= 50
+    # binomial (topology-agnostic) never beats the torus-optimised bine in
+    # the bandwidth regime (tiny sizes can tie at the latency floor)
+    for dims, grid in results.items():
+        for (coll, nb), times in grid.items():
+            if coll == "allreduce" and nb >= 1024**2:
+                assert times["binomial"] > min(
+                    times["bine-multiport"], times["bine-torus"],
+                    times["bine-torus-small"],
+                )
+    # trinaryx stays strongest for large-vector bcast (vendor-optimal claim)
+    big = max(SIZES)
+    grid = results[(8, 8, 8)]
+    assert grid[("bcast", big)]["trinaryx"] < grid[("bcast", big)]["binomial"]

@@ -1,0 +1,64 @@
+"""Fig. 14 (Appendix B): best non-contiguous-data strategy for allgather.
+
+Paper shape on LUMI: **permute** wins small vectors (up to 2.27× over
+binomial butterflies), **send** takes over at larger node counts (permute
+cost grows with block count), **block-by-block** wins larger vectors at
+small node counts, **two transmissions** at large node counts + vectors.
+"""
+
+from repro.analysis.sweep import ProfileCache, sweep_system
+from repro.analysis.heatmap import human_bytes
+from repro.systems import lumi
+
+from benchmarks._shared import PAPER_SIZES, write_result
+
+NODES = (8, 32, 128, 512)
+STRATS = {
+    "bine-blocks": "B",
+    "bine-permute": "P",
+    "bine-send": "S",
+    "bine-two-transmissions": "T",
+}
+
+
+def compute():
+    preset = lumi()
+    cache = ProfileCache(preset, placement="scheduler")
+    records = sweep_system(
+        preset, ("allgather",),
+        node_counts=NODES, vector_bytes=PAPER_SIZES,
+        algorithms=tuple(STRATS) + ("recursive-doubling",),
+        cache=cache,
+    )
+    best: dict[tuple[int, int], tuple[str, float]] = {}
+    binom: dict[tuple[int, int], float] = {}
+    for r in records:
+        key = (r.p, r.n_bytes)
+        if r.algorithm == "recursive-doubling":
+            binom[key] = r.time
+        elif key not in best or r.time < best[key][1]:
+            best[key] = (r.algorithm, r.time)
+    return {k: (name, binom[k] / t) for k, (name, t) in best.items() if k in binom}
+
+
+def test_fig14_noncontig(benchmark):
+    cells = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["best strategy per cell (gain vs binomial butterfly)",
+             " " * 10 + "".join(f"{p:>12}" for p in NODES)]
+    for nb in PAPER_SIZES:
+        row = [f"{human_bytes(nb):>10}"]
+        for p in NODES:
+            name, gain = cells[(p, nb)]
+            row.append(f"{STRATS[name]}{gain:>9.2f}x ")
+        lines.append("".join(row))
+    lines.append("letters: B=block-by-block P=permute S=send T=two-transmissions")
+    lines.append("paper Fig. 14: P small vectors, S large node counts, "
+                 "B large vectors, T large both")
+    write_result("fig14_noncontig", "\n".join(lines))
+
+    winners = {cells[(p, nb)][0] for p in NODES for nb in PAPER_SIZES}
+    # at least three of the four strategies should each win somewhere
+    assert len(winners) >= 3, winners
+    # permute or send should win the small-vector regime
+    for p in NODES:
+        assert cells[(p, 32)][0] in ("bine-permute", "bine-send", "bine-two-transmissions")

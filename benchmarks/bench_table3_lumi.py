@@ -1,0 +1,43 @@
+"""Table 3: Bine vs binomial trees on LUMI (Dragonfly, Cray MPICH baseline).
+
+Paper headline: Bine wins the majority of (node count × vector size) cells
+for most collectives (67 % allreduce, 94 % alltoall, 87 % reduce, …), with
+~10 % average global-traffic reduction and up to 94 % for broadcast.
+Shape assertions check win-majority and the traffic-reduction signs; exact
+percentages are hardware-dependent and not asserted.
+"""
+
+from repro.analysis.summarize import family_duel, format_duel_table
+
+from benchmarks._shared import ALL_COLLECTIVES, lumi_sweep, write_result
+
+
+def compute():
+    records = lumi_sweep()
+    return [
+        family_duel(records, c, "bine", "bruck" if c == "alltoall" else "binomial")
+        for c in ALL_COLLECTIVES
+    ]
+
+
+def test_table3_lumi(benchmark):
+    duels = benchmark.pedantic(compute, rounds=1, iterations=1)
+    text = format_duel_table(duels) + (
+        "\npaper Table 3: %win 39-94 across collectives; bcast traffic "
+        "reduction 88%/94%; avg reduction ~10%"
+    )
+    write_result("table3_lumi", text)
+    by = {d.collective: d for d in duels}
+    # Bine never loses more cells than it wins (paper: wins outright on all
+    # eight; our aggregate cost model resolves gather/scatter as ties —
+    # their structural difference is traffic, which the columns show).
+    for coll in ("allreduce", "bcast", "reduce", "allgather",
+                 "reduce_scatter", "alltoall"):
+        assert by[coll].win_pct >= by[coll].loss_pct, (coll, by[coll])
+    for coll in ("allreduce", "bcast", "reduce", "alltoall"):
+        assert by[coll].win_pct > by[coll].loss_pct, coll
+    # broadcast shows the huge traffic reduction vs scatter+allgather
+    assert by["bcast"].max_traffic_reduction > 80
+    # alltoall vs Bruck: Bine wins on balance with ~15 % traffic reduction
+    # (paper: 94 % win, 15-20 % TR; our win margin is narrower)
+    assert by["alltoall"].avg_traffic_reduction > 5

@@ -1,0 +1,66 @@
+"""Table 4 + Figs. 10a/10b: Leonardo (Dragonfly+, Open MPI baseline).
+
+Paper headline: Bine ≥90 % win rate on half the collectives; broadcast gains
+larger than LUMI (Open MPI's distance-doubling binomial floods global links,
+Fig. 1); allreduce heatmap dominated by Bine except ring on large vectors at
+small node counts.
+"""
+
+from repro.analysis.boxplot import box_stats, format_box_row
+from repro.analysis.heatmap import render_heatmap
+from repro.analysis.summarize import (
+    best_algorithm_cells,
+    bine_improvement_distribution,
+    family_duel,
+    format_duel_table,
+)
+
+from benchmarks._shared import (
+    ALL_COLLECTIVES,
+    PAPER_SIZES,
+    leonardo_sweep,
+    write_result,
+)
+
+NODES = (16, 64, 256, 1024, 2048)
+
+
+def compute():
+    records = leonardo_sweep()
+    duels = [
+        family_duel(records, c, "bine", "bruck" if c == "alltoall" else "binomial")
+        for c in ALL_COLLECTIVES
+    ]
+    cells = best_algorithm_cells(records, "allreduce")
+    dists = {c: bine_improvement_distribution(records, c) for c in ALL_COLLECTIVES}
+    return duels, cells, dists
+
+
+def test_table4_leonardo(benchmark):
+    duels, cells, dists = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = [format_duel_table(duels), "",
+             render_heatmap(cells, NODES, PAPER_SIZES, "Fig. 10a — Leonardo allreduce"),
+             "", "Fig. 10b — Bine improvement where it wins"]
+    for coll, (pct, improvements) in dists.items():
+        if improvements:
+            lines.append(format_box_row(f"{coll} ({pct:.0f}%)", box_stats(improvements)))
+        else:
+            lines.append(f"{coll} ({pct:.0f}%)  — no winning cells")
+    lines.append("paper Table 4: win% 44-94; bcast traffic red. 89%/92%")
+    write_result("table4_leonardo", "\n".join(lines))
+
+    by = {d.collective: d for d in duels}
+    # gather/scatter (and, on this system, alltoall) time differences are
+    # below the model's resolution and tip either way per allocation
+    # (EXPERIMENTS.md notes 5-6); the rest must show Bine ahead, and the
+    # alltoall *traffic* advantage must hold regardless.
+    for coll in ("allreduce", "bcast", "reduce", "allgather", "reduce_scatter"):
+        assert by[coll].win_pct >= by[coll].loss_pct, (coll, by[coll])
+    for coll in ("allreduce", "bcast", "reduce"):
+        assert by[coll].win_pct > by[coll].loss_pct, coll
+    assert by["alltoall"].avg_traffic_reduction > 5
+    # The paper's Leonardo broadcast highlight: Open MPI's distance-doubling
+    # binomial makes Bine's traffic reduction huge.
+    assert by["bcast"].max_traffic_reduction > 80
+    # vs LUMI the bcast gains should be at least comparable (paper: larger)
+    assert by["bcast"].avg_gain > 0

@@ -1,0 +1,53 @@
+"""Table 5 + Fig. 11a: MareNostrum 5 (2:1 oversubscribed fat tree).
+
+Paper headline: Bine wins most cells (98 % bcast, 95 % scatter); at this
+small scale (≤64 nodes) linear algorithms win more alltoall/gather/scatter
+cells than on the big systems, and gather/scatter can *increase* average
+global traffic (negative reduction) — the small-node-count caveat of
+Sec. 2.4.2.
+"""
+
+from repro.analysis.boxplot import box_stats, format_box_row
+from repro.analysis.summarize import (
+    bine_improvement_distribution,
+    family_duel,
+    format_duel_table,
+)
+
+from benchmarks._shared import ALL_COLLECTIVES, mn5_sweep, write_result
+
+
+def compute():
+    records = mn5_sweep()
+    duels = [
+        family_duel(records, c, "bine", "bruck" if c == "alltoall" else "binomial")
+        for c in ALL_COLLECTIVES
+    ]
+    dists = {c: bine_improvement_distribution(records, c) for c in ALL_COLLECTIVES}
+    return duels, dists
+
+
+def test_table5_mn5(benchmark):
+    duels, dists = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = [format_duel_table(duels), "",
+             "Fig. 11a — Bine improvement where it wins (vs all algorithms)"]
+    for coll, (pct, improvements) in dists.items():
+        if improvements:
+            lines.append(format_box_row(f"{coll} ({pct:.0f}%)", box_stats(improvements)))
+        else:
+            lines.append(f"{coll} ({pct:.0f}%)  — no winning cells")
+    lines.append("paper Table 5: win% 51-98; gather/scatter traffic red. "
+                 "-8% avg (negative) at this scale")
+    write_result("table5_mn5", "\n".join(lines))
+
+    by = {d.collective: d for d in duels}
+    # At 4-64 nodes the fat tree's 80-wide uplink bundles rarely saturate,
+    # so most time duels sit at the latency floor and only allreduce
+    # separates; the *traffic* advantages (the structural claim) must hold.
+    assert by["allreduce"].win_pct > by["allreduce"].loss_pct
+    assert by["bcast"].avg_traffic_reduction > 40
+    assert by["alltoall"].avg_traffic_reduction > 10
+    # Small scale: Bine's outright-win share for alltoall should be modest
+    # (paper: 7 % of cells on MN5 vs 21 % on LUMI/Leonardo).
+    pct_a2a, _ = dists["alltoall"]
+    assert pct_a2a < 60

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Global-traffic study: the paper's Fig. 1 and Fig. 5 on your terminal.
+
+Part 1 reproduces the motivating example exactly: an 8-node broadcast on a
+2:1 oversubscribed fat tree, where the distance-doubling binomial tree pays
+6n bytes on global links and the distance-halving tree only 3n.
+
+Part 2 runs the Fig. 5 experiment in miniature: sample scheduler-like job
+allocations on a Leonardo-shaped Dragonfly+ and measure how much global
+allreduce traffic Bine saves per job — bounded by the theoretical 33 %.
+"""
+
+from repro.analysis.boxplot import box_stats, format_box_row
+from repro.analysis.jobs import run_study
+from repro.collectives.registry import build
+from repro.core.distance import THEORETICAL_TRAFFIC_REDUCTION_BOUND
+from repro.model.traffic import global_traffic_elems
+from repro.topology.allocation import SystemShape
+from repro.topology.fattree import FatTree
+
+
+def figure1() -> None:
+    print("=== Fig. 1: 8-node broadcast on a 2:1 fat tree ===")
+    ft = FatTree(num_subtrees=4, nodes_per_subtree=2, oversubscription=2.0)
+    groups = [ft.group_of(i) for i in range(8)]
+    n = 128
+    for name in ("binomial-dd", "binomial-dh", "bine"):
+        sched = build("bcast", name, 8, n)
+        g = global_traffic_elems(sched, groups)
+        print(f"  {name:>12}: {g / n:.1f}n bytes over global links")
+    print("  (paper: 6n for distance-doubling, 3n for distance-halving)\n")
+
+
+def figure5() -> None:
+    print("=== Fig. 5 (miniature): per-job traffic reduction, Leonardo shape ===")
+    shape = SystemShape("leonardo", num_groups=23, nodes_per_group=180)
+    study = run_study(shape, node_counts=(16, 64, 256), jobs_per_count=25,
+                      seed=3, busy_fraction=0.8)
+    for p, vals in sorted(study.reductions.items()):
+        stats = box_stats([100 * v for v in vals])
+        print(" ", format_box_row(f"{p}-node jobs", stats))
+    print(f"  theoretical bound: {100 * THEORETICAL_TRAFFIC_REDUCTION_BOUND:.0f}%")
+
+
+if __name__ == "__main__":
+    figure1()
+    figure5()

@@ -1,0 +1,38 @@
+"""Sweeps, paper-style summaries, heatmaps, boxplots, and the Fig. 5 study."""
+
+from repro.analysis.boxplot import BoxStats, box_stats, format_box_row
+from repro.analysis.heatmap import human_bytes, render_heatmap
+from repro.analysis.jobs import (
+    JobTrafficStudy,
+    allreduce_traffic_reduction,
+    run_study,
+)
+from repro.analysis.summarize import (
+    DuelSummary,
+    best_algorithm_cells,
+    bine_improvement_distribution,
+    family_duel,
+    format_duel_table,
+    geometric_mean,
+)
+from repro.analysis.sweep import ProfileCache, SweepRecord, sweep_system
+
+__all__ = [
+    "BoxStats",
+    "box_stats",
+    "format_box_row",
+    "human_bytes",
+    "render_heatmap",
+    "JobTrafficStudy",
+    "allreduce_traffic_reduction",
+    "run_study",
+    "DuelSummary",
+    "best_algorithm_cells",
+    "bine_improvement_distribution",
+    "family_duel",
+    "format_duel_table",
+    "geometric_mean",
+    "ProfileCache",
+    "SweepRecord",
+    "sweep_system",
+]

@@ -1,0 +1,55 @@
+"""Text boxplot statistics (Figs. 5, 9b, 10b, 11a, 11b are boxplot figures)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["BoxStats", "box_stats", "format_box_row"]
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number summary plus mean, paper-style whiskers (1.5 IQR)."""
+
+    count: int
+    mean: float
+    q1: float
+    median: float
+    q3: float
+    whisker_lo: float
+    whisker_hi: float
+    min: float
+    max: float
+
+
+def box_stats(values: Sequence[float]) -> BoxStats:
+    if not len(values):
+        raise ValueError("no samples")
+    arr = np.asarray(values, dtype=float)
+    q1, med, q3 = np.percentile(arr, [25, 50, 75])
+    iqr = q3 - q1
+    lo_limit, hi_limit = q1 - 1.5 * iqr, q3 + 1.5 * iqr
+    inside = arr[(arr >= lo_limit) & (arr <= hi_limit)]
+    return BoxStats(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        q1=float(q1),
+        median=float(med),
+        q3=float(q3),
+        whisker_lo=float(inside.min()) if inside.size else float(arr.min()),
+        whisker_hi=float(inside.max()) if inside.size else float(arr.max()),
+        min=float(arr.min()),
+        max=float(arr.max()),
+    )
+
+
+def format_box_row(label: str, stats: BoxStats, unit: str = "%") -> str:
+    return (
+        f"{label:<22} n={stats.count:<5} "
+        f"whisk[{stats.whisker_lo:7.1f}, {stats.whisker_hi:7.1f}]{unit} "
+        f"Q1={stats.q1:6.1f} med={stats.median:6.1f} Q3={stats.q3:6.1f} "
+        f"mean={stats.mean:6.1f}{unit}"
+    )

@@ -1,0 +1,67 @@
+"""Text heatmaps in the style of paper Figs. 9a / 10a.
+
+Each cell of (vector size × node count) shows either the winning
+algorithm's letter, or — when Bine wins — the speedup ratio over the best
+non-Bine algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.analysis.sweep import SweepRecord
+
+__all__ = ["FAMILY_LETTERS", "render_heatmap", "human_bytes"]
+
+FAMILY_LETTERS = {
+    "binomial": "N",
+    "ring": "R",
+    "bruck": "B",
+    "swing": "S",
+    "linear": "L",
+    "sota": "D",  # 'default'-ish library algorithms (Rabenseifner, sparbit, …)
+    "bucket": "K",
+    "trinaryx": "T",
+}
+
+
+def human_bytes(nb: int) -> str:
+    for unit, size in (("GiB", 1024**3), ("MiB", 1024**2), ("KiB", 1024)):
+        if nb >= size:
+            val = nb / size
+            return f"{val:.0f} {unit}" if val == int(val) else f"{val:.1f} {unit}"
+    return f"{nb} B"
+
+
+def render_heatmap(
+    cells: Mapping[tuple[int, int], tuple[SweepRecord, float | None]],
+    node_counts: Sequence[int],
+    vector_bytes: Sequence[int],
+    title: str = "",
+) -> str:
+    """Render the Fig. 9a-style grid as text."""
+    width = 8
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" " * 10 + "".join(f"{p:>{width}}" for p in node_counts))
+    for nb in vector_bytes:
+        row = [f"{human_bytes(nb):>10}"]
+        for p in node_counts:
+            entry = cells.get((p, nb))
+            if entry is None:
+                row.append(" " * width)
+                continue
+            best, ratio = entry
+            if best.family == "bine":
+                row.append(f"{ratio:>{width}.2f}" if ratio else f"{'BINE':>{width}}")
+            else:
+                letter = FAMILY_LETTERS.get(best.family, best.family[:1].upper())
+                row.append(f"{letter:>{width}}")
+        lines.append("".join(row))
+    lines.append(
+        "letters = best non-Bine family ("
+        + ", ".join(f"{v}={k}" for k, v in FAMILY_LETTERS.items())
+        + "); numbers = Bine speedup over next best"
+    )
+    return "\n".join(lines)

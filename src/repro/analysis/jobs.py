@@ -1,0 +1,87 @@
+"""The Fig. 5 experiment: global-traffic reduction over job allocations.
+
+For every sampled job we lay ranks block-wise over the allocated
+(hostname-sorted) nodes, identify each rank's Dragonfly(+) group, and count
+group-crossing bytes of an allreduce under standard binomial butterflies vs
+Bine butterflies — exactly the computation the paper performs on the real
+Slurm traces (Sec. 2.4.2).  Reductions are scale-invariant in the vector
+size, so the canonical build size suffices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.collectives.butterfly_collectives import allreduce_recursive
+from repro.core.butterfly import (
+    bine_butterfly_halving,
+    recursive_doubling_butterfly,
+)
+from repro.model.traffic import global_traffic_elems, traffic_reduction
+from repro.runtime.schedule import Schedule
+from repro.topology.allocation import AllocationSampler, SystemShape
+
+__all__ = ["JobTrafficStudy", "allreduce_traffic_reduction", "run_study"]
+
+_sched_cache: dict[tuple[str, int], Schedule] = {}
+
+
+def _allreduce_schedules(p: int) -> tuple[Schedule, Schedule]:
+    """(binomial, bine) allreduce schedules at canonical size.
+
+    The paper's Fig. 5 analysis uses the tree/butterfly structures whose
+    per-step payload is the full vector (the structure from which the 33 %
+    bound is derived, Sec. 2.4.1), i.e. recursive doubling vs the Bine
+    butterfly — each edge carries the same bytes, so the reduction comes
+    purely from communication distances.
+    """
+    if ("binomial", p) not in _sched_cache:
+        _sched_cache[("binomial", p)] = allreduce_recursive(
+            recursive_doubling_butterfly(p), p, "sum"
+        )
+        _sched_cache[("bine", p)] = allreduce_recursive(
+            bine_butterfly_halving(p), p, "sum"
+        )
+    return _sched_cache[("binomial", p)], _sched_cache[("bine", p)]
+
+
+def allreduce_traffic_reduction(groups: list[int]) -> float:
+    """Fig. 5 quantity for one job: Bine's reduction vs binomial (fraction).
+
+    ``groups[rank]`` is the group each rank's node belongs to (block rank
+    order over hostname-sorted allocation).
+    """
+    p = len(groups)
+    binomial, bine = _allreduce_schedules(p)
+    base = global_traffic_elems(binomial, groups)
+    cand = global_traffic_elems(bine, groups)
+    return traffic_reduction(base, cand)
+
+
+@dataclass(frozen=True)
+class JobTrafficStudy:
+    """Distribution of reductions per node count for one system."""
+
+    system: str
+    #: node count → list of per-job reduction fractions
+    reductions: dict[int, list[float]]
+
+
+def run_study(
+    shape: SystemShape,
+    node_counts: tuple[int, ...],
+    jobs_per_count: int,
+    seed: int = 0,
+    busy_fraction: float = 0.5,
+) -> JobTrafficStudy:
+    """Sample ``jobs_per_count`` allocations per node count and measure."""
+    sampler = AllocationSampler(shape, seed=seed, busy_fraction=busy_fraction)
+    reductions: dict[int, list[float]] = {}
+    for p in node_counts:
+        vals = []
+        for _ in range(jobs_per_count):
+            alloc = sampler.sample(p)
+            groups = [alloc.group_of_rank(r) for r in range(p)]
+            vals.append(allreduce_traffic_reduction(groups))
+        reductions[p] = vals
+    return JobTrafficStudy(system=shape.name, reductions=reductions)

@@ -1,0 +1,164 @@
+"""Summaries in the shape of the paper's Tables 3-5 and Figs. 9-11.
+
+Given sweep records, per collective:
+
+* :func:`family_duel` — Bine vs binomial: %win / %loss, geometric-mean and
+  max gain/drop, average/max global-traffic reduction (Tables 3, 4, 5);
+* :func:`best_algorithm_cells` — per (nodes × size) cell, the winning
+  algorithm and, when Bine wins, its ratio over the next-best non-Bine
+  algorithm (heatmaps 9a / 10a);
+* :func:`bine_improvement_distribution` — % of cells where Bine is overall
+  best plus the improvement distribution in those cells (boxplots 9b / 10b /
+  11a / 11b).
+
+Percentages use the paper's convention: differences below 1 % count as a
+tie; averages over ratios use the geometric mean [29].
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.sweep import SweepRecord
+
+__all__ = [
+    "DuelSummary",
+    "family_duel",
+    "best_algorithm_cells",
+    "bine_improvement_distribution",
+    "geometric_mean",
+    "format_duel_table",
+]
+
+TIE_THRESHOLD = 0.01
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def _best_by(records: list[SweepRecord]) -> SweepRecord:
+    return min(records, key=lambda r: r.time)
+
+
+def _cells(records: Sequence[SweepRecord]):
+    cells: dict[tuple, list[SweepRecord]] = {}
+    for r in records:
+        cells.setdefault(r.key, []).append(r)
+    return cells
+
+
+@dataclass(frozen=True)
+class DuelSummary:
+    """Table 3/4/5 row for one collective."""
+
+    collective: str
+    cells: int
+    win_pct: float
+    loss_pct: float
+    avg_gain: float
+    max_gain: float
+    avg_drop: float
+    max_drop: float
+    avg_traffic_reduction: float
+    max_traffic_reduction: float
+
+
+def family_duel(
+    records: Sequence[SweepRecord],
+    collective: str,
+    family_a: str = "bine",
+    family_b: str = "binomial",
+) -> DuelSummary:
+    """Compare the best algorithm of two families cell by cell."""
+    gains: list[float] = []
+    drops: list[float] = []
+    reductions: list[float] = []
+    wins = losses = total = 0
+    for key, recs in sorted(_cells(records).items()):
+        if key[0] != collective:
+            continue
+        a = [r for r in recs if r.family == family_a]
+        b = [r for r in recs if r.family == family_b]
+        if not a or not b:
+            continue
+        best_a, best_b = _best_by(a), _best_by(b)
+        total += 1
+        ratio = best_b.time / best_a.time
+        if ratio > 1 + TIE_THRESHOLD:
+            wins += 1
+            gains.append(ratio - 1)
+        elif ratio < 1 - TIE_THRESHOLD:
+            losses += 1
+            drops.append(1 / ratio - 1)
+        if best_b.global_bytes > 0:
+            reductions.append(1 - best_a.global_bytes / best_b.global_bytes)
+    if total == 0:
+        raise ValueError(f"no comparable cells for {collective!r}")
+    return DuelSummary(
+        collective=collective,
+        cells=total,
+        win_pct=100 * wins / total,
+        loss_pct=100 * losses / total,
+        avg_gain=100 * geometric_mean([1 + g for g in gains]) - 100 if gains else 0.0,
+        max_gain=100 * max(gains) if gains else 0.0,
+        avg_drop=100 * geometric_mean([1 + d for d in drops]) - 100 if drops else 0.0,
+        max_drop=100 * max(drops) if drops else 0.0,
+        avg_traffic_reduction=100 * (sum(reductions) / len(reductions)) if reductions else 0.0,
+        max_traffic_reduction=100 * max(reductions) if reductions else 0.0,
+    )
+
+
+def format_duel_table(summaries: Sequence[DuelSummary]) -> str:
+    """Render Table 3/4/5-style text."""
+    hdr = (
+        f"{'Coll.':<14}{'%Win':>6}{'AvgG%':>8}{'MaxG%':>8}"
+        f"{'%Loss':>7}{'AvgD%':>8}{'MaxD%':>8}{'AvgTR%':>8}{'MaxTR%':>8}"
+    )
+    lines = [hdr, "-" * len(hdr)]
+    for s in summaries:
+        lines.append(
+            f"{s.collective:<14}{s.win_pct:>6.0f}{s.avg_gain:>8.1f}{s.max_gain:>8.1f}"
+            f"{s.loss_pct:>7.0f}{s.avg_drop:>8.1f}{s.max_drop:>8.1f}"
+            f"{s.avg_traffic_reduction:>8.1f}{s.max_traffic_reduction:>8.1f}"
+        )
+    return "\n".join(lines)
+
+
+def best_algorithm_cells(
+    records: Sequence[SweepRecord], collective: str
+) -> dict[tuple[int, int], tuple[SweepRecord, float | None]]:
+    """Per (p, n_bytes): the winner and, if Bine, ratio over best non-Bine."""
+    out: dict[tuple[int, int], tuple[SweepRecord, float | None]] = {}
+    for key, recs in _cells(records).items():
+        if key[0] != collective:
+            continue
+        best = _best_by(recs)
+        ratio = None
+        if best.family == "bine":
+            others = [r for r in recs if r.family != "bine"]
+            if others:
+                ratio = _best_by(others).time / best.time
+        out[(key[1], key[2])] = (best, ratio)
+    return out
+
+
+def bine_improvement_distribution(
+    records: Sequence[SweepRecord], collective: str
+) -> tuple[float, list[float]]:
+    """(% of cells Bine wins outright, improvement % in those cells)."""
+    cells = best_algorithm_cells(records, collective)
+    if not cells:
+        raise ValueError(f"no cells for {collective!r}")
+    improvements = [
+        100 * (ratio - 1)
+        for (_, ratio) in cells.values()
+        if ratio is not None and ratio > 1 + TIE_THRESHOLD
+    ]
+    pct = 100 * len(improvements) / len(cells)
+    return pct, improvements

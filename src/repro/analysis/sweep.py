@@ -1,0 +1,177 @@
+"""Parameter sweeps over (node count × vector size × algorithm).
+
+This is the reproduction's replacement for the paper's PICO benchmarking
+framework [51, 53]: every registered algorithm is compiled once per
+``(collective, algorithm, p)`` at the canonical build size, profiled once
+against the system's topology, then evaluated analytically at every vector
+size of the grid.  Records carry family tags so the summary layer can build
+the paper's "Bine vs binomial" and "Bine vs best state-of-the-art" views.
+
+Rank placement matters: the paper runs "without requesting any specific node
+placement", i.e. on whatever fragmented allocation the scheduler returns,
+then relies on hostname-sorted block rank order (Sec. 2.2).  Sweeps
+therefore default to a scheduler-like sampled allocation
+(``placement="scheduler"``); ``placement="block"`` gives the idealised
+group-aligned mapping (useful to expose the pure-structure upper bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.collectives.registry import ALGORITHMS, AlgorithmSpec
+from repro.model.analytic import ANALYTIC_PROFILES, ANALYTIC_THRESHOLD
+from repro.model.cost import CostParams
+from repro.model.simulator import ScheduleProfile, evaluate_time, profile_schedule
+from repro.systems.presets import SystemPreset
+from repro.topology.allocation import AllocationSampler, SystemShape
+from repro.topology.mapping import RankMap, allocation_mapping, block_mapping
+
+__all__ = ["SweepRecord", "sweep_system", "ProfileCache"]
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One evaluated configuration."""
+
+    system: str
+    collective: str
+    algorithm: str
+    family: str
+    p: int
+    n_bytes: int
+    time: float
+    global_bytes: float
+
+    @property
+    def key(self) -> tuple:
+        return (self.collective, self.p, self.n_bytes)
+
+
+class ProfileCache:
+    """Memoises schedule profiles per (collective, algorithm, p, ppn).
+
+    ``placement="scheduler"`` lays each rank count over a sampled,
+    hostname-sorted scheduler allocation (the paper's operating conditions);
+    ``"block"`` uses the idealised node ``r // ppn`` mapping.
+    """
+
+    def __init__(
+        self,
+        preset: SystemPreset,
+        placement: str = "scheduler",
+        seed: int = 7,
+        busy_fraction: float = 0.55,
+    ):
+        self.preset = preset
+        self.topo = preset.build_topology()
+        self.placement = placement
+        self._cache: dict[tuple, ScheduleProfile | None] = {}
+        self._mappings: dict[tuple[int, int], RankMap] = {}
+        self._sampler = None
+        if placement == "scheduler":
+            shape = _shape_of(self.topo, preset.name)
+            self._sampler = AllocationSampler(
+                shape, seed=seed, busy_fraction=busy_fraction
+            )
+        elif placement != "block":
+            raise ValueError(f"unknown placement {placement!r}")
+
+    def mapping_for(self, p: int, ppn: int = 1) -> RankMap:
+        key = (p, ppn)
+        if key not in self._mappings:
+            num_nodes = p // ppn
+            if self._sampler is None:
+                self._mappings[key] = block_mapping(p, ppn=ppn)
+            else:
+                alloc = self._sampler.sample(num_nodes)
+                # hostname order == sorted node ids on these systems (Sec. 2.2)
+                self._mappings[key] = allocation_mapping(sorted(alloc.nodes), ppn=ppn)
+        return self._mappings[key]
+
+    def get(self, spec: AlgorithmSpec, p: int, ppn: int = 1) -> ScheduleProfile | None:
+        key = (spec.collective, spec.name, p, ppn)
+        if key not in self._cache:
+            self._cache[key] = self._build(spec, p, ppn)
+        return self._cache[key]
+
+    def _build(self, spec: AlgorithmSpec, p: int, ppn: int) -> ScheduleProfile | None:
+        if p // ppn > self.topo.num_nodes:
+            return None
+        if spec.max_p is not None and p > spec.max_p:
+            return None
+        mapping = self.mapping_for(p, ppn)
+        analytic = ANALYTIC_PROFILES.get((spec.collective, spec.name))
+        # alltoall always uses the analytic (packed-implementation) profiles
+        # so small and large rank counts are modelled consistently.
+        if analytic is not None and (p > ANALYTIC_THRESHOLD or spec.collective == "alltoall"):
+            if spec.pow2_only and p & (p - 1):
+                return None
+            return analytic(p, self.topo, mapping)
+        try:
+            schedule = spec.build(p, p)  # canonical size: one element per block
+        except ValueError:
+            return None  # constraint (pow2/divisibility) not met
+        return profile_schedule(schedule, self.topo, mapping)
+
+
+def _shape_of(topo, name: str) -> SystemShape:
+    """Derive the allocation-sampling shape from a grouped topology."""
+    num_groups = topo.num_groups
+    nodes_per_group = topo.num_nodes // num_groups
+    return SystemShape(name, num_groups, nodes_per_group)
+
+
+def sweep_system(
+    preset: SystemPreset,
+    collectives: Sequence[str],
+    *,
+    node_counts: Sequence[int] | None = None,
+    vector_bytes: Sequence[int] | None = None,
+    algorithms: Iterable[str] | None = None,
+    params: CostParams | None = None,
+    max_p: dict[str, int] | None = None,
+    ppn: int = 1,
+    cache: ProfileCache | None = None,
+    placement: str = "scheduler",
+) -> list[SweepRecord]:
+    """Evaluate every applicable algorithm across the grid.
+
+    ``max_p`` optionally caps the rank count per collective (the O(p²)
+    alltoall builders get expensive past a few hundred ranks).
+    """
+    node_counts = tuple(node_counts if node_counts is not None else preset.node_counts)
+    vector_bytes = tuple(
+        vector_bytes if vector_bytes is not None else preset.vector_bytes
+    )
+    params = params or preset.params
+    cache = cache or ProfileCache(preset, placement=placement)
+    records: list[SweepRecord] = []
+    for (coll, name), spec in sorted(ALGORITHMS.items()):
+        if coll not in collectives:
+            continue
+        if algorithms is not None and name not in algorithms:
+            continue
+        for p in node_counts:
+            if max_p and p > max_p.get(coll, p):
+                continue
+            profile = cache.get(spec, p, ppn)
+            if profile is None:
+                continue
+            for nb in vector_bytes:
+                n_elems = nb / params.itemsize
+                metrics = evaluate_time(profile, params, n_elems)
+                records.append(
+                    SweepRecord(
+                        system=preset.name,
+                        collective=coll,
+                        algorithm=name,
+                        family=spec.family,
+                        p=p,
+                        n_bytes=nb,
+                        time=metrics.time,
+                        global_bytes=metrics.global_bytes,
+                    )
+                )
+    return records

@@ -1,0 +1,22 @@
+"""The eight collectives of the paper, Bine and baseline algorithms alike.
+
+Use :func:`repro.collectives.registry.build` to construct schedules by name:
+
+>>> from repro.collectives.registry import build
+>>> sched = build("allreduce", "bine-rsag", p=16, n=1024)
+
+and :func:`repro.collectives.verify.run_and_check` to execute + verify one.
+"""
+
+from repro.collectives.common import Strategy
+from repro.collectives.registry import ALGORITHMS, COLLECTIVES, algorithms_for, build
+from repro.collectives.verify import run_and_check
+
+__all__ = [
+    "Strategy",
+    "ALGORITHMS",
+    "COLLECTIVES",
+    "algorithms_for",
+    "build",
+    "run_and_check",
+]

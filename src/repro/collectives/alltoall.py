@@ -1,0 +1,224 @@
+"""Alltoall algorithms: Bruck, pairwise/linear, and Bine (paper Sec. 4.4).
+
+All log-step alltoalls here share one mechanism: each rank owns ``p`` block
+*slots*; every step it ships some held blocks to a peer and the freed slots
+absorb the incoming ones.  The builder tracks ``(origin, destination)`` of
+every slot exactly, so schedules are correct by construction and a final
+local pass unpacks slots into the natural ``recv`` layout.
+
+* **Bine** (Sec. 4.4): "a small-vector allreduce where received data is
+  concatenated rather than aggregated" — at step ``j`` of the Bine
+  distance-doubling butterfly a rank forwards every held block whose
+  destination lies on the partner's side (``resp(partner, j+1)``), sending
+  ``n/2`` bytes per step over Bine-short distances.
+* **Bruck**: at phase ``k`` send to ``(r + 2^k) mod p`` all blocks whose
+  relative destination offset has bit ``k`` set; works for any ``p``.
+* **Pairwise**: ``p − 1`` direct exchanges (the linear baseline that wins at
+  small scale / big vectors, Sec. 5.1.2).
+
+Buffers: ``"send"`` (input, block ``d`` = data for rank ``d``), ``"slots"``
+(staging), ``"recv"`` (output, block ``o`` = data from rank ``o``).
+"""
+
+from __future__ import annotations
+
+from repro.core.butterfly import Butterfly, bine_butterfly_doubling
+from repro.core.coverage import responsibility, segments_of
+from repro.runtime.schedule import LocalCopy, Schedule, Step, Transfer
+
+__all__ = ["alltoall_bine", "alltoall_bruck", "alltoall_pairwise"]
+
+SEND = "send"
+SLOTS = "slots"
+RECV = "recv"
+
+
+def _slot_segments(slots: list[int], bs: int):
+    return tuple((lo * bs, hi * bs) for lo, hi in segments_of(set(slots)))
+
+
+class _SlotTracker:
+    """Exact bookkeeping of which (origin, dst) block sits in which slot."""
+
+    def __init__(self, p: int):
+        self.p = p
+        # contents[r][slot] = (origin, dst)
+        self.contents: list[list[tuple[int, int] | None]] = [
+            [(r, d) for d in range(p)] for r in range(p)
+        ]
+
+    def held_with(self, rank: int, pred) -> list[int]:
+        """Slots of ``rank`` whose block satisfies ``pred(origin, dst)``."""
+        return [
+            s
+            for s, blk in enumerate(self.contents[rank])
+            if blk is not None and pred(*blk)
+        ]
+
+    def move(self, src: int, src_slots: list[int], dst: int, dst_slots: list[int]):
+        """Relocate blocks between ranks; slot lists pair up in order."""
+        assert len(src_slots) == len(dst_slots)
+        blocks = [self.contents[src][s] for s in src_slots]
+        for s in src_slots:
+            self.contents[src][s] = None
+        for s, blk in zip(dst_slots, blocks):
+            assert self.contents[dst][s] is None
+            self.contents[dst][s] = blk
+
+    def free_slots(self, rank: int, count: int) -> list[int]:
+        free = [s for s, blk in enumerate(self.contents[rank]) if blk is None]
+        assert len(free) >= count
+        return free[:count]
+
+    def finish(self, sched: Schedule, bs: int) -> None:
+        """Assert every rank holds exactly its own inbound blocks; unpack."""
+        post = []
+        for r in range(self.p):
+            origins = []
+            for s, blk in enumerate(self.contents[r]):
+                assert blk is not None, f"rank {r} slot {s} empty at finish"
+                origin, dst = blk
+                assert dst == r, f"rank {r} holds stray block {blk}"
+                origins.append((s, origin))
+            assert sorted(o for _, o in origins) == list(range(self.p))
+            post.append(
+                LocalCopy(
+                    rank=r, src_buf=SLOTS, dst_buf=RECV,
+                    src_segments=tuple((s * bs, (s + 1) * bs) for s, _ in origins),
+                    dst_segments=tuple((o * bs, (o + 1) * bs) for _, o in origins),
+                    tag="alltoall unpack",
+                )
+            )
+        sched.add(Step(post=tuple(post), label="alltoall unpack"))
+
+
+def _init_step(p: int, n: int) -> Step:
+    """Copy ``send`` into the slot staging buffer (slot d = block for d)."""
+    pre = tuple(
+        LocalCopy(
+            rank=r, src_buf=SEND, dst_buf=SLOTS,
+            src_segments=((0, n),), dst_segments=((0, n),),
+            tag="alltoall stage",
+        )
+        for r in range(p)
+    )
+    return Step(pre=pre, label="alltoall stage")
+
+
+def alltoall_bine(p: int, n: int, bf: Butterfly | None = None) -> Schedule:
+    """Bine butterfly alltoall (Sec. 4.4); requires power-of-two ``p``, p | n."""
+    if n % p:
+        raise ValueError("alltoall requires p | n")
+    if bf is None:
+        bf = bine_butterfly_doubling(p)
+    return _build_bine(p, n, bf)
+
+
+def _run_slot_rounds(sched: Schedule, tracker: _SlotTracker, rounds, bs: int):
+    """Execute communication rounds on the tracker, emitting transfers.
+
+    ``rounds`` yields lists of ``(src, outgoing_slots, dst)`` moves per step;
+    within a step all sends happen concurrently (snapshot semantics), so
+    blocks are detached first, then landed into slots freed this step.
+    """
+    for label, moves in rounds:
+        detached: list[tuple[int, list[int], int, list] ] = []
+        for src, out_slots, dst in moves:
+            blocks = [tracker.contents[src][s] for s in out_slots]
+            assert all(b is not None for b in blocks)
+            for s in out_slots:
+                tracker.contents[src][s] = None
+            detached.append((src, out_slots, dst, blocks))
+        transfers = []
+        for src, out_slots, dst, blocks in detached:
+            land = tracker.free_slots(dst, len(blocks))
+            for s, blk in zip(land, blocks):
+                tracker.contents[dst][s] = blk
+            if not blocks:
+                continue
+            transfers.append(
+                Transfer(
+                    src=src, dst=dst, src_buf=SLOTS, dst_buf=SLOTS,
+                    src_segments=_slot_segments(out_slots, bs),
+                    dst_segments=tuple((s * bs, (s + 1) * bs) for s in land),
+                    tag=label,
+                )
+            )
+        sched.add(Step(transfers=tuple(transfers), label=label))
+
+
+def _build_bine(p: int, n: int, bf: Butterfly) -> Schedule:
+    bs = n // p
+    sched = Schedule(
+        p, meta={"collective": "alltoall", "algorithm": "bine", "p": p, "n": n}
+    )
+    sched.add(_init_step(p, n))
+    tracker = _SlotTracker(p)
+
+    def rounds():
+        for j in range(bf.num_steps):
+            moves = []
+            for r in range(p):
+                q = bf.partner(r, j)
+                side = responsibility(bf, q, j + 1)
+                out = sorted(tracker.held_with(r, lambda _o, d: d in side))
+                moves.append((r, out, q))
+            yield f"bine-a2a[{j}]", moves
+
+    _run_slot_rounds(sched, tracker, rounds(), bs)
+    tracker.finish(sched, bs)
+    return sched.validate()
+
+
+def alltoall_bruck(p: int, n: int) -> Schedule:
+    """Bruck alltoall: ``⌈log2 p⌉`` phases, any ``p`` (requires p | n)."""
+    if n % p:
+        raise ValueError("alltoall requires p | n")
+    bs = n // p
+    sched = Schedule(
+        p, meta={"collective": "alltoall", "algorithm": "bruck", "p": p, "n": n}
+    )
+    sched.add(_init_step(p, n))
+    tracker = _SlotTracker(p)
+    phases = max(1, (p - 1).bit_length()) if p > 1 else 0
+
+    def rounds():
+        for k in range(phases):
+            moves = []
+            for r in range(p):
+                out = sorted(
+                    tracker.held_with(
+                        r, lambda _o, d, r=r, k=k: ((d - r) % p) >> k & 1
+                    )
+                )
+                moves.append((r, out, (r + (1 << k)) % p))
+            yield f"bruck[{k}]", moves
+
+    _run_slot_rounds(sched, tracker, rounds(), bs)
+    tracker.finish(sched, bs)
+    return sched.validate()
+
+
+def alltoall_pairwise(p: int, n: int) -> Schedule:
+    """Pairwise-exchange alltoall: ``p − 1`` direct rounds (requires p | n)."""
+    if n % p:
+        raise ValueError("alltoall requires p | n")
+    bs = n // p
+    sched = Schedule(
+        p, meta={"collective": "alltoall", "algorithm": "pairwise", "p": p, "n": n}
+    )
+    sched.add(_init_step(p, n))
+    tracker = _SlotTracker(p)
+
+    def rounds():
+        for k in range(1, p):
+            moves = []
+            for r in range(p):
+                dst = (r + k) % p
+                out = tracker.held_with(r, lambda _o, d, dst=dst: d == dst)
+                moves.append((r, sorted(out), dst))
+            yield f"pairwise[{k}]", moves
+
+    _run_slot_rounds(sched, tracker, rounds(), bs)
+    tracker.finish(sched, bs)
+    return sched.validate()

@@ -1,0 +1,130 @@
+"""Fast responsibility-set backends for large rank counts.
+
+The generic recursion in :mod:`repro.core.coverage` materialises
+``Θ(p²)`` set elements per butterfly — fine for correctness tests at small
+``p``, prohibitive for profiling Leonardo-scale (2048-rank) sweeps.  This
+module provides per-kind fast backends used by the schedule builders:
+
+* ``bine-doubling`` / ``swing`` — the paper's ν-mask closed form
+  (Sec. 3.2.3) vectorised: ``resp(r, j) = (r ± {b : ν(b) & ones(j) = 0})``;
+* ``recdoub`` / ``rechalv`` — classic hypercube closed forms;
+* ``bine-halving`` (and any butterfly with circular-contiguous sets) — an
+  ``O(p log p)`` circular-range recursion: ranges of partners merge
+  adjacently, so only ``(start, length)`` pairs are memoised.
+
+All backends return **sorted NumPy block arrays**, and are cross-checked
+against the generic recursion in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bine_tree import nu_labels
+from repro.core.butterfly import Butterfly
+from repro.core.coverage import responsibility
+
+__all__ = ["resp_backend", "sorted_runs"]
+
+
+def sorted_runs(arr: np.ndarray) -> list[tuple[int, int]]:
+    """Maximal runs of consecutive values in a sorted int array."""
+    if arr.size == 0:
+        return []
+    breaks = np.nonzero(np.diff(arr) != 1)[0]
+    starts = np.concatenate(([0], breaks + 1))
+    ends = np.concatenate((breaks, [arr.size - 1]))
+    return [(int(arr[s]), int(arr[e]) + 1) for s, e in zip(starts, ends)]
+
+
+def _bine_dd_backend(bf: Butterfly):
+    p = bf.p
+    nus = np.array(nu_labels(p), dtype=np.int64)
+    base: dict[int, np.ndarray] = {}
+
+    def resp(rank: int, step: int) -> np.ndarray:
+        if step not in base:
+            mask = (1 << step) - 1
+            base[step] = np.nonzero((nus & mask) == 0)[0]
+        b = base[step]
+        if rank % 2 == 0:
+            return np.sort((rank + b) % p)
+        return np.sort((rank - b) % p)
+
+    return resp
+
+
+def _recdoub_backend(bf: Butterfly):
+    p = bf.p
+
+    def resp(rank: int, step: int) -> np.ndarray:
+        mask = (1 << step) - 1
+        all_b = np.arange(p)
+        return all_b[(all_b ^ rank) & mask == 0]
+
+    return resp
+
+
+def _rechalv_backend(bf: Butterfly):
+    p = bf.p
+    s = p.bit_length() - 1
+
+    def resp(rank: int, step: int) -> np.ndarray:
+        width = s - step
+        lo = (rank >> width) << width
+        return np.arange(lo, lo + (1 << width))
+
+    return resp
+
+
+def _circular_backend(bf: Butterfly):
+    """O(p log p) recursion over (start, length) circular ranges."""
+    p, s = bf.p, bf.num_steps
+    memo: dict[tuple[int, int], tuple[int, int]] = {}
+
+    def crange(rank: int, step: int) -> tuple[int, int]:
+        key = (rank, step)
+        if key in memo:
+            return memo[key]
+        if step == s:
+            out = (rank, 1)
+        else:
+            a_start, a_len = crange(rank, step + 1)
+            b_start, b_len = crange(bf.partner(rank, step), step + 1)
+            if (a_start + a_len) % p == b_start:
+                out = (a_start, a_len + b_len)
+            elif (b_start + b_len) % p == a_start:
+                out = (b_start, a_len + b_len)
+            else:
+                raise ValueError(
+                    f"{bf.kind}: responsibility sets not circular-contiguous "
+                    f"at rank {rank} step {step}"
+                )
+        memo[key] = out
+        return out
+
+    def resp(rank: int, step: int) -> np.ndarray:
+        start, length = crange(rank, step)
+        return np.sort(np.arange(start, start + length) % p)
+
+    return resp
+
+
+def _generic_backend(bf: Butterfly):
+    def resp(rank: int, step: int) -> np.ndarray:
+        return np.array(sorted(responsibility(bf, rank, step)), dtype=np.int64)
+
+    return resp
+
+
+def resp_backend(bf: Butterfly):
+    """Pick the fastest valid backend for ``bf``; returns resp(rank, step)."""
+    if bf.kind in ("bine-doubling", "swing"):
+        return _bine_dd_backend(bf)
+    if bf.kind == "recdoub":
+        return _recdoub_backend(bf)
+    if bf.kind == "rechalv":
+        return _rechalv_backend(bf)
+    if bf.kind in ("bine-halving",):
+        return _circular_backend(bf)
+    return _generic_backend(bf)

@@ -1,0 +1,367 @@
+"""String-keyed registry of every collective algorithm in the library.
+
+The sweep harness (:mod:`repro.analysis.sweep`) and the benchmarks address
+algorithms as ``(collective, name)``.  Each entry knows its family (``bine``
+/ ``binomial`` / ``ring`` / …) so the paper's "Bine vs binomial" and
+"Bine vs best state-of-the-art" summaries can group correctly, plus its
+constraints (power-of-two ranks, divisibility).
+
+Builders share the signature ``build(p, n, root=0, op="sum") -> Schedule``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.bine_tree import (
+    bine_tree_distance_doubling,
+    bine_tree_distance_halving,
+)
+from repro.core.binomial_tree import (
+    binomial_tree_distance_doubling,
+    binomial_tree_distance_halving,
+)
+from repro.core.butterfly import (
+    bine_butterfly_doubling,
+    bine_butterfly_halving,
+    recursive_doubling_butterfly,
+    recursive_halving_butterfly,
+    swing_butterfly,
+)
+from repro.collectives import alltoall as a2a
+from repro.collectives import ring as ringmod
+from repro.collectives.bruck_allgather import allgather_bruck, allgather_sparbit
+from repro.collectives.butterfly_collectives import (
+    allgather_butterfly,
+    allreduce_recursive,
+    allreduce_reduce_scatter_allgather,
+    reduce_scatter_butterfly,
+)
+from repro.collectives.common import Strategy
+from repro.collectives.composed import (
+    bcast_scatter_allgather_bine,
+    bcast_scatter_allgather_binomial,
+    reduce_rsag_bine,
+    reduce_rsag_rabenseifner,
+)
+from repro.collectives.tree_collectives import (
+    bcast_from_tree,
+    gather_from_tree,
+    reduce_from_tree,
+    scatter_from_tree,
+)
+from repro.runtime.schedule import Schedule
+
+__all__ = ["AlgorithmSpec", "ALGORITHMS", "build", "algorithms_for", "COLLECTIVES"]
+
+COLLECTIVES = (
+    "bcast",
+    "reduce",
+    "gather",
+    "scatter",
+    "allgather",
+    "reduce_scatter",
+    "allreduce",
+    "alltoall",
+)
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    collective: str
+    name: str
+    family: str  # 'bine' | 'binomial' | 'ring' | 'bruck' | 'swing' | 'linear' | 'sota'
+    builder: Callable[..., Schedule]
+    pow2_only: bool = True
+    needs_divisible: bool = False
+    description: str = ""
+    #: optional sweep cap: schedules with Θ(p²) wire segments (per-block
+    #: strategies) are skipped above this rank count
+    max_p: int | None = None
+
+    def build(self, p: int, n: int, root: int = 0, op: str = "sum") -> Schedule:
+        return self.builder(p, n, root, op)
+
+
+ALGORITHMS: dict[tuple[str, str], AlgorithmSpec] = {}
+
+
+def _register(spec: AlgorithmSpec) -> None:
+    key = (spec.collective, spec.name)
+    if key in ALGORITHMS:
+        raise ValueError(f"duplicate algorithm {key}")
+    ALGORITHMS[key] = spec
+
+
+def build(collective: str, name: str, p: int, n: int, root: int = 0, op: str = "sum") -> Schedule:
+    """Build a schedule for a registered algorithm."""
+    try:
+        spec = ALGORITHMS[(collective, name)]
+    except KeyError:
+        raise KeyError(
+            f"no algorithm {name!r} for {collective!r}; "
+            f"have {algorithms_for(collective)}"
+        ) from None
+    return spec.build(p, n, root, op)
+
+
+def algorithms_for(collective: str) -> list[str]:
+    """Registered algorithm names for a collective."""
+    return sorted(name for (c, name) in ALGORITHMS if c == collective)
+
+
+# --------------------------------------------------------------------------
+# bcast
+# --------------------------------------------------------------------------
+_register(AlgorithmSpec(
+    "bcast", "binomial-dd", "binomial",
+    lambda p, n, root, op: bcast_from_tree(binomial_tree_distance_doubling(p, root), n),
+    description="Open MPI binomial broadcast (distance doubling, Fig. 1 top)",
+))
+_register(AlgorithmSpec(
+    "bcast", "binomial-dh", "binomial",
+    lambda p, n, root, op: bcast_from_tree(binomial_tree_distance_halving(p, root), n),
+    description="MPICH binomial broadcast (distance halving, Fig. 1 bottom)",
+))
+_register(AlgorithmSpec(
+    "bcast", "bine", "bine",
+    lambda p, n, root, op: bcast_from_tree(bine_tree_distance_halving(p, root), n),
+    description="Bine distance-halving tree broadcast (Listing 1)",
+))
+_register(AlgorithmSpec(
+    "bcast", "scatter-allgather", "binomial",
+    lambda p, n, root, op: bcast_scatter_allgather_binomial(p, n, root),
+    description="MPICH large-vector broadcast: binomial scatter + recdoub allgather",
+))
+_register(AlgorithmSpec(
+    "bcast", "bine-scatter-allgather", "bine",
+    lambda p, n, root, op: bcast_scatter_allgather_bine(p, n, root),
+    needs_divisible=True,
+    description="Bine large-vector broadcast: dd-tree π scatter + dh butterfly allgather",
+))
+
+# --------------------------------------------------------------------------
+# reduce
+# --------------------------------------------------------------------------
+_register(AlgorithmSpec(
+    "reduce", "binomial-dd", "binomial",
+    lambda p, n, root, op: reduce_from_tree(binomial_tree_distance_doubling(p, root), n, op),
+    description="binomial tree reduce (distance doubling)",
+))
+_register(AlgorithmSpec(
+    "reduce", "binomial-dh", "binomial",
+    lambda p, n, root, op: reduce_from_tree(binomial_tree_distance_halving(p, root), n, op),
+    description="binomial tree reduce (distance halving)",
+))
+_register(AlgorithmSpec(
+    "reduce", "bine", "bine",
+    lambda p, n, root, op: reduce_from_tree(bine_tree_distance_halving(p, root), n, op),
+    description="Bine distance-halving tree reduce (small vectors)",
+))
+_register(AlgorithmSpec(
+    "reduce", "rabenseifner", "binomial",
+    lambda p, n, root, op: reduce_rsag_rabenseifner(p, n, root, op),
+    description="reduce-scatter + binomial gather (the standard butterfly large reduce)",
+))
+_register(AlgorithmSpec(
+    "reduce", "bine-rsag", "bine",
+    lambda p, n, root, op: reduce_rsag_bine(p, n, root, op),
+    needs_divisible=True,
+    description="Bine large reduce: dd butterfly RS (send) + reversed dd-tree gather",
+))
+
+# --------------------------------------------------------------------------
+# gather / scatter
+# --------------------------------------------------------------------------
+_register(AlgorithmSpec(
+    "gather", "binomial", "binomial",
+    lambda p, n, root, op: gather_from_tree(binomial_tree_distance_halving(p, root), n),
+    description="binomial gather (contiguous subtree ranges)",
+))
+_register(AlgorithmSpec(
+    "gather", "bine", "bine",
+    lambda p, n, root, op: gather_from_tree(bine_tree_distance_halving(p, root), n),
+    description="Bine gather with circular ranges (Fig. 7)",
+))
+_register(AlgorithmSpec(
+    "gather", "linear", "linear",
+    lambda p, n, root, op: ringmod.linear_gather(p, n, root),
+    pow2_only=False,
+    description="flat gather: everyone sends directly to the root",
+))
+_register(AlgorithmSpec(
+    "scatter", "binomial", "binomial",
+    lambda p, n, root, op: scatter_from_tree(binomial_tree_distance_halving(p, root), n),
+    description="binomial scatter",
+))
+_register(AlgorithmSpec(
+    "scatter", "bine", "bine",
+    lambda p, n, root, op: scatter_from_tree(bine_tree_distance_halving(p, root), n),
+    description="Bine scatter (Sec. 4.2)",
+))
+_register(AlgorithmSpec(
+    "scatter", "linear", "linear",
+    lambda p, n, root, op: ringmod.linear_scatter(p, n, root),
+    pow2_only=False,
+    description="flat scatter",
+))
+
+# --------------------------------------------------------------------------
+# allgather
+# --------------------------------------------------------------------------
+_register(AlgorithmSpec(
+    "allgather", "recursive-doubling", "binomial",
+    lambda p, n, root, op: allgather_butterfly(recursive_halving_butterfly(p), n, Strategy.NATURAL),
+    description="standard recursive-doubling allgather (contiguous)",
+))
+_register(AlgorithmSpec(
+    "allgather", "ring", "ring",
+    lambda p, n, root, op: ringmod.ring_allgather(p, n),
+    pow2_only=False,
+    description="ring allgather",
+))
+_register(AlgorithmSpec(
+    "allgather", "bruck", "bruck",
+    lambda p, n, root, op: allgather_bruck(p, n),
+    pow2_only=False,
+    description="Bruck allgather",
+))
+_register(AlgorithmSpec(
+    "allgather", "sparbit", "sota",
+    lambda p, n, root, op: allgather_sparbit(p, n),
+    pow2_only=False, max_p=512,
+    description="sparbit-like allgather (log steps, per-block sends)",
+))
+_register(AlgorithmSpec(
+    "allgather", "swing", "swing",
+    lambda p, n, root, op: allgather_butterfly(swing_butterfly(p), n, Strategy.NATURAL),
+    description="Swing allgather (Bine matchings, natural non-contiguous blocks)",
+))
+for _strat, _div in (
+    (Strategy.NATURAL, False), (Strategy.BLOCKS, False),
+    (Strategy.PERMUTE, True), (Strategy.SEND, True),
+):
+    _register(AlgorithmSpec(
+        "allgather", f"bine-{_strat.value}", "bine",
+        (lambda strat: lambda p, n, root, op: allgather_butterfly(
+            bine_butterfly_doubling(p), n, strat))(_strat),
+        needs_divisible=_div,
+        max_p=512 if _strat is Strategy.BLOCKS else None,
+        description=f"Bine allgather, {_strat.value} strategy (Sec. 4.3.1)",
+    ))
+_register(AlgorithmSpec(
+    "allgather", "bine-two-transmissions", "bine",
+    lambda p, n, root, op: allgather_butterfly(
+        bine_butterfly_halving(p), n, Strategy.TWO_TRANSMISSIONS),
+    description="Bine allgather via dist-halving-RS reversal (≤2 segments)",
+))
+
+# --------------------------------------------------------------------------
+# reduce_scatter
+# --------------------------------------------------------------------------
+_register(AlgorithmSpec(
+    "reduce_scatter", "recursive-halving", "binomial",
+    lambda p, n, root, op: reduce_scatter_butterfly(
+        recursive_halving_butterfly(p), n, op, Strategy.NATURAL),
+    description="standard recursive-halving reduce-scatter",
+))
+_register(AlgorithmSpec(
+    "reduce_scatter", "ring", "ring",
+    lambda p, n, root, op: ringmod.ring_reduce_scatter(p, n, op),
+    pow2_only=False,
+    description="ring reduce-scatter",
+))
+_register(AlgorithmSpec(
+    "reduce_scatter", "swing", "swing",
+    lambda p, n, root, op: reduce_scatter_butterfly(
+        swing_butterfly(p), n, op, Strategy.NATURAL),
+    description="Swing reduce-scatter (natural non-contiguous blocks)",
+))
+for _strat, _div in (
+    (Strategy.NATURAL, False), (Strategy.BLOCKS, False),
+    (Strategy.PERMUTE, True), (Strategy.SEND, True),
+):
+    _register(AlgorithmSpec(
+        "reduce_scatter", f"bine-{_strat.value}", "bine",
+        (lambda strat: lambda p, n, root, op: reduce_scatter_butterfly(
+            bine_butterfly_doubling(p), n, op, strat))(_strat),
+        needs_divisible=_div,
+        max_p=512 if _strat is Strategy.BLOCKS else None,
+        description=f"Bine reduce-scatter, {_strat.value} strategy",
+    ))
+_register(AlgorithmSpec(
+    "reduce_scatter", "bine-two-transmissions", "bine",
+    lambda p, n, root, op: reduce_scatter_butterfly(
+        bine_butterfly_halving(p), n, op, Strategy.TWO_TRANSMISSIONS),
+    description="Bine reduce-scatter on the dist-halving butterfly (≤2 segments)",
+))
+
+# --------------------------------------------------------------------------
+# allreduce
+# --------------------------------------------------------------------------
+_register(AlgorithmSpec(
+    "allreduce", "recursive-doubling", "binomial",
+    lambda p, n, root, op: allreduce_recursive(recursive_doubling_butterfly(p), n, op),
+    description="recursive-doubling allreduce (small vectors)",
+))
+_register(AlgorithmSpec(
+    "allreduce", "ring", "ring",
+    lambda p, n, root, op: ringmod.ring_allreduce(p, n, op),
+    pow2_only=False,
+    description="ring allreduce (RS + AG)",
+))
+_register(AlgorithmSpec(
+    "allreduce", "rabenseifner", "binomial",
+    lambda p, n, root, op: allreduce_reduce_scatter_allgather(
+        recursive_halving_butterfly(p), n, op, Strategy.NATURAL),
+    description="Rabenseifner allreduce: recursive halving RS + recdoub AG "
+                "(the standard butterfly large allreduce)",
+))
+_register(AlgorithmSpec(
+    "allreduce", "swing", "swing",
+    lambda p, n, root, op: allreduce_reduce_scatter_allgather(
+        swing_butterfly(p), n, op, Strategy.NATURAL),
+    description="Swing allreduce (non-contiguous multi-segment sends)",
+))
+_register(AlgorithmSpec(
+    "allreduce", "bine-small", "bine",
+    lambda p, n, root, op: allreduce_recursive(bine_butterfly_halving(p), n, op),
+    description="Bine small-vector allreduce: recursive doubling on Bine butterfly",
+))
+_register(AlgorithmSpec(
+    "allreduce", "bine-rsag", "bine",
+    lambda p, n, root, op: allreduce_reduce_scatter_allgather(
+        bine_butterfly_doubling(p), n, op, Strategy.SEND),
+    needs_divisible=True,
+    description="Bine large-vector allreduce: RS + AG in send mode (zero reordering)",
+))
+_register(AlgorithmSpec(
+    "allreduce", "bine-rsag-segmented", "bine",
+    lambda p, n, root, op: allreduce_reduce_scatter_allgather(
+        bine_butterfly_doubling(p), n, op, Strategy.SEND, segmented=True),
+    needs_divisible=True,
+    description="segmented Bine allreduce (pipelined chunks, Sec. 5.2.2)",
+))
+
+# --------------------------------------------------------------------------
+# alltoall
+# --------------------------------------------------------------------------
+_register(AlgorithmSpec(
+    "alltoall", "bruck", "bruck",
+    lambda p, n, root, op: a2a.alltoall_bruck(p, n),
+    pow2_only=False, needs_divisible=True,
+    description="Bruck alltoall (log steps)",
+))
+_register(AlgorithmSpec(
+    "alltoall", "pairwise", "linear",
+    lambda p, n, root, op: a2a.alltoall_pairwise(p, n),
+    pow2_only=False, needs_divisible=True,
+    description="pairwise-exchange alltoall (p−1 steps)",
+))
+_register(AlgorithmSpec(
+    "alltoall", "bine", "bine",
+    lambda p, n, root, op: a2a.alltoall_bine(p, n),
+    needs_divisible=True,
+    description="Bine butterfly alltoall (Sec. 4.4)",
+))

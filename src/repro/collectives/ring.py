@@ -1,0 +1,132 @@
+"""Ring and linear baselines (paper Sec. 5: ring allreduce, linear algorithms).
+
+Ring algorithms move one block to a neighbour per step for ``p − 1`` steps:
+bandwidth-optimal and perfectly local, but linear in step count — the
+regime where the paper shows Bine winning on small/medium vectors and large
+node counts (Fig. 9a/10a).  Linear (flat) gather/scatter/alltoall send every
+block directly and model the "linear algorithms often outperform logarithmic
+ones at small scale" effect (Sec. 5.3.2).
+"""
+
+from __future__ import annotations
+
+from repro.core.blocks import Partition
+from repro.collectives.common import VEC
+from repro.runtime.schedule import Schedule, Step, Transfer
+
+__all__ = [
+    "ring_reduce_scatter",
+    "ring_allgather",
+    "ring_allreduce",
+    "linear_gather",
+    "linear_scatter",
+]
+
+
+def _seg(part: Partition, block: int):
+    return (part.bounds(block),)
+
+
+def ring_reduce_scatter(p: int, n: int, op: str = "sum") -> Schedule:
+    """Ring reduce-scatter: rank ``r`` ends holding reduced block ``r``.
+
+    At step ``k`` rank ``r`` forwards its running partial of block
+    ``(r − 1 − k) mod p`` to ``r + 1`` and reduces the incoming partial of
+    block ``(r − 2 − k) mod p``.
+    """
+    if p < 2:
+        raise ValueError("ring needs p >= 2")
+    part = Partition(n, p)
+    sched = Schedule(
+        p, meta={"collective": "reduce_scatter", "algorithm": "ring", "p": p, "n": n, "op": op}
+    )
+    for k in range(p - 1):
+        transfers = []
+        for r in range(p):
+            block = (r - 1 - k) % p
+            transfers.append(
+                Transfer(
+                    src=r, dst=(r + 1) % p, src_buf=VEC, dst_buf=VEC,
+                    src_segments=_seg(part, block), dst_segments=_seg(part, block),
+                    op=op, tag=f"ring-rs[{k}]",
+                )
+            )
+        sched.add(Step(transfers=tuple(transfers), label=f"ring rs step {k}"))
+    return sched.validate()
+
+
+def ring_allgather(p: int, n: int) -> Schedule:
+    """Ring allgather: each rank starts with block ``r``, ends with all."""
+    if p < 2:
+        raise ValueError("ring needs p >= 2")
+    part = Partition(n, p)
+    sched = Schedule(
+        p, meta={"collective": "allgather", "algorithm": "ring", "p": p, "n": n}
+    )
+    for k in range(p - 1):
+        transfers = []
+        for r in range(p):
+            block = (r - k) % p
+            transfers.append(
+                Transfer(
+                    src=r, dst=(r + 1) % p, src_buf=VEC, dst_buf=VEC,
+                    src_segments=_seg(part, block), dst_segments=_seg(part, block),
+                    tag=f"ring-ag[{k}]",
+                )
+            )
+        sched.add(Step(transfers=tuple(transfers), label=f"ring ag step {k}"))
+    return sched.validate()
+
+
+def ring_allreduce(p: int, n: int, op: str = "sum") -> Schedule:
+    """Ring allreduce = ring reduce-scatter + ring allgather (NCCL-style)."""
+    rs = ring_reduce_scatter(p, n, op)
+    ag = ring_allgather(p, n)
+    sched = Schedule(
+        p,
+        meta={
+            "collective": "allreduce", "algorithm": "ring", "p": p, "n": n, "op": op,
+            # Rings inherently pipeline fine-grained chunks (Sec. 5.2.2).
+            "segmented": True,
+        },
+    )
+    sched.steps = list(rs.steps) + list(ag.steps)
+    return sched.validate()
+
+
+def linear_gather(p: int, n: int, root: int = 0) -> Schedule:
+    """Flat gather: every rank sends its block straight to the root."""
+    part = Partition(n, p)
+    transfers = tuple(
+        Transfer(
+            src=r, dst=root, src_buf=VEC, dst_buf=VEC,
+            src_segments=_seg(part, r), dst_segments=_seg(part, r),
+            tag="linear-gather",
+        )
+        for r in range(p)
+        if r != root
+    )
+    sched = Schedule(
+        p, meta={"collective": "gather", "algorithm": "linear", "p": p, "n": n, "root": root}
+    )
+    sched.add(Step(transfers=transfers, label="linear gather"))
+    return sched.validate()
+
+
+def linear_scatter(p: int, n: int, root: int = 0) -> Schedule:
+    """Flat scatter: the root sends each rank its block directly."""
+    part = Partition(n, p)
+    transfers = tuple(
+        Transfer(
+            src=root, dst=r, src_buf=VEC, dst_buf=VEC,
+            src_segments=_seg(part, r), dst_segments=_seg(part, r),
+            tag="linear-scatter",
+        )
+        for r in range(p)
+        if r != root
+    )
+    sched = Schedule(
+        p, meta={"collective": "scatter", "algorithm": "linear", "p": p, "n": n, "root": root}
+    )
+    sched.add(Step(transfers=transfers, label="linear scatter"))
+    return sched.validate()

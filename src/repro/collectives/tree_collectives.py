@@ -1,0 +1,163 @@
+"""Tree-shaped collectives: broadcast, reduce, gather, scatter (paper Sec. 4).
+
+All four are generated from a :class:`~repro.core.tree.Tree` (Bine or
+binomial, any variant), so a single implementation covers every tree family:
+
+* **broadcast** — data flows root→leaves along tree edges in step order;
+* **reduce** — the exact reverse: children send partial reductions to
+  parents, steps run backwards (small-vector algorithm of Sec. 4.5);
+* **gather** — like reduce but concatenating *blocks*: a child sends the
+  circular block range of its whole subtree (Fig. 7);
+* **scatter** — the reverse of gather: a parent sends each child its
+  subtree's circular block range (Sec. 4.2).
+
+Gather and scatter rely on subtrees being circularly contiguous block
+ranges, which holds for distance-halving Bine trees and binomial trees
+(validated in the test suite); wrapped ranges linearise into at most two
+wire segments — the "two transmissions" of Sec. 4.3.1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.blocks import Partition, wrap_range_from_set
+from repro.core.tree import Tree
+from repro.collectives.common import VEC
+from repro.runtime.schedule import Schedule, Step, Transfer
+
+__all__ = [
+    "bcast_from_tree",
+    "reduce_from_tree",
+    "gather_from_tree",
+    "scatter_from_tree",
+]
+
+# PrunedTree (Appendix C) quacks like Tree for every query used here.
+TreeLike = Tree
+
+
+def _meta(tree: TreeLike, collective: str, n: int, **extra) -> dict:
+    return {
+        "collective": collective,
+        "algorithm": tree.kind,
+        "p": tree.p,
+        "n": n,
+        "root": tree.root,
+        **extra,
+    }
+
+
+def bcast_from_tree(tree: TreeLike, n: int) -> Schedule:
+    """Broadcast ``n`` elements from ``tree.root`` along ``tree``.
+
+    Every rank's ``vec`` ends equal to the root's.  Each edge carries the
+    full vector — the small-vector algorithm; see
+    :mod:`repro.collectives.composed` for the scatter+allgather large-vector
+    variant.
+    """
+    sched = Schedule(tree.p, meta=_meta(tree, "bcast", n))
+    for step_idx in range(tree.num_steps):
+        transfers = tuple(
+            Transfer(
+                src=u,
+                dst=v,
+                src_buf=VEC,
+                dst_buf=VEC,
+                src_segments=((0, n),),
+                dst_segments=((0, n),),
+                tag=f"bcast[{step_idx}]",
+            )
+            for (u, v) in tree.edges[step_idx]
+        )
+        sched.add(Step(transfers=transfers, label=f"bcast step {step_idx}"))
+    return sched.validate()
+
+
+def reduce_from_tree(tree: TreeLike, n: int, op: str = "sum") -> Schedule:
+    """Reduce ``n``-element contributions to ``tree.root`` (reverse broadcast).
+
+    Every rank's ``vec`` starts as its contribution; the root's ``vec`` ends
+    as the elementwise reduction.  Non-root buffers hold partial sums
+    afterwards (same garbage-on-exit behaviour as MPI_Reduce send buffers).
+    """
+    sched = Schedule(tree.p, meta=_meta(tree, "reduce", n, op=op))
+    for step_idx in reversed(range(tree.num_steps)):
+        transfers = tuple(
+            Transfer(
+                src=v,
+                dst=u,
+                src_buf=VEC,
+                dst_buf=VEC,
+                src_segments=((0, n),),
+                dst_segments=((0, n),),
+                op=op,
+                tag=f"reduce[{step_idx}]",
+            )
+            for (u, v) in tree.edges[step_idx]
+        )
+        sched.add(Step(transfers=transfers, label=f"reduce step {step_idx}"))
+    return sched.validate()
+
+
+def _subtree_segments(tree: TreeLike, rank: int, part: Partition):
+    """Element segments (≤ 2) of ``rank``'s subtree block range."""
+    crange = wrap_range_from_set(tree.subtree(rank), tree.p)
+    return tuple(crange.segments(part))
+
+
+def gather_from_tree(tree: TreeLike, n: int) -> Schedule:
+    """Gather one block per rank to ``tree.root`` (paper Fig. 7).
+
+    Every rank's ``vec`` is the full ``n``-element space with only its own
+    block meaningful; the root ends holding all blocks in natural positions.
+    Children send at the *reverse* of their broadcast step, transmitting the
+    circular block range of their entire subtree in one go.
+    """
+    part = Partition(n, tree.p)
+    sched = Schedule(tree.p, meta=_meta(tree, "gather", n))
+    for step_idx in reversed(range(tree.num_steps)):
+        transfers = []
+        for (u, v) in tree.edges[step_idx]:
+            segs = _subtree_segments(tree, v, part)
+            transfers.append(
+                Transfer(
+                    src=v,
+                    dst=u,
+                    src_buf=VEC,
+                    dst_buf=VEC,
+                    src_segments=segs,
+                    dst_segments=segs,
+                    tag=f"gather[{step_idx}]",
+                )
+            )
+        sched.add(Step(transfers=tuple(transfers), label=f"gather step {step_idx}"))
+    return sched.validate()
+
+
+def scatter_from_tree(tree: TreeLike, n: int) -> Schedule:
+    """Scatter blocks from ``tree.root`` (Sec. 4.2, reverse of gather).
+
+    The root starts with the full vector; every rank ends with its own block
+    at its natural position.  At each broadcast step a parent forwards the
+    receiving child's whole subtree range.
+    """
+    part = Partition(n, tree.p)
+    sched = Schedule(tree.p, meta=_meta(tree, "scatter", n))
+    for step_idx in range(tree.num_steps):
+        transfers = []
+        for (u, v) in tree.edges[step_idx]:
+            segs = _subtree_segments(tree, v, part)
+            transfers.append(
+                Transfer(
+                    src=u,
+                    dst=v,
+                    src_buf=VEC,
+                    dst_buf=VEC,
+                    src_segments=segs,
+                    dst_segments=segs,
+                    tag=f"scatter[{step_idx}]",
+                )
+            )
+        sched.add(Step(transfers=tuple(transfers), label=f"scatter step {step_idx}"))
+    return sched.validate()

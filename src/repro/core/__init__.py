@@ -1,0 +1,81 @@
+"""Core Bine-tree machinery: negabinary math, trees, butterflies, coverage.
+
+This package is the paper's primary contribution in library form; everything
+here is topology-agnostic.  See :mod:`repro.collectives` for the eight
+collective algorithms built on top and :mod:`repro.topology` /
+:mod:`repro.model` for the network substrates.
+"""
+
+from repro.core.negabinary import (
+    from_negabinary,
+    max_positive,
+    nb_to_rank,
+    rank_to_nb,
+    to_negabinary,
+)
+from repro.core.tree import Tree, TreeError, build_tree, log2_exact
+from repro.core.bine_tree import (
+    bine_tree_distance_doubling,
+    bine_tree_distance_halving,
+    nu_label,
+    nu_labels,
+)
+from repro.core.binomial_tree import (
+    binomial_tree_distance_doubling,
+    binomial_tree_distance_halving,
+)
+from repro.core.butterfly import (
+    Butterfly,
+    bine_butterfly_doubling,
+    bine_butterfly_halving,
+    recursive_doubling_butterfly,
+    recursive_halving_butterfly,
+    swing_butterfly,
+)
+from repro.core.blocks import CircularRange, Partition
+from repro.core.coverage import responsibility, send_blocks, keep_blocks
+from repro.core.distance import (
+    THEORETICAL_TRAFFIC_REDUCTION_BOUND,
+    delta_bine,
+    delta_binomial,
+    distance_ratio,
+    modulo_distance,
+)
+from repro.core.torus_opt import TorusShape, torus_bine_tree, torus_bine_butterfly
+
+__all__ = [
+    "Tree",
+    "TreeError",
+    "Butterfly",
+    "CircularRange",
+    "Partition",
+    "TorusShape",
+    "bine_tree_distance_doubling",
+    "bine_tree_distance_halving",
+    "binomial_tree_distance_doubling",
+    "binomial_tree_distance_halving",
+    "bine_butterfly_doubling",
+    "bine_butterfly_halving",
+    "recursive_doubling_butterfly",
+    "recursive_halving_butterfly",
+    "swing_butterfly",
+    "torus_bine_tree",
+    "torus_bine_butterfly",
+    "build_tree",
+    "log2_exact",
+    "nu_label",
+    "nu_labels",
+    "to_negabinary",
+    "from_negabinary",
+    "rank_to_nb",
+    "nb_to_rank",
+    "max_positive",
+    "responsibility",
+    "send_blocks",
+    "keep_blocks",
+    "modulo_distance",
+    "delta_bine",
+    "delta_binomial",
+    "distance_ratio",
+    "THEORETICAL_TRAFFIC_REDUCTION_BOUND",
+]

@@ -1,0 +1,56 @@
+"""Communication-distance theory (paper Sec. 2.4.1, Eq. 2).
+
+The analytic comparison between Bine and binomial trees: at step ``i`` of an
+``s``-step distance-halving collective the communicating ranks are
+
+* ``δ_binomial(i) = 2^{s−i−1}`` apart in a binomial tree, and
+* ``δ_bine(i) = |Σ_{j=0}^{s−i−1} (−2)^j| ≈ 2^{s−i}/3`` apart in a Bine tree,
+
+so the ratio tends to 2/3 — Bine communicates with ~33 % closer ranks, which
+bounds its global-traffic reduction (Eq. 2).
+"""
+
+from __future__ import annotations
+
+from repro.core.butterfly import bine_sigma
+
+__all__ = [
+    "modulo_distance",
+    "delta_binomial",
+    "delta_bine",
+    "distance_ratio",
+    "THEORETICAL_TRAFFIC_REDUCTION_BOUND",
+]
+
+#: The paper's headline bound: Bine cuts global-link traffic by at most 33 %.
+THEORETICAL_TRAFFIC_REDUCTION_BOUND = 1 / 3
+
+
+def modulo_distance(r: int, q: int, p: int) -> int:
+    """Minimum circular distance between ranks ``r`` and ``q`` (Sec. 2.2)."""
+    if p <= 0:
+        raise ValueError("p must be positive")
+    d = (r - q) % p
+    return min(d, p - d)
+
+
+def delta_binomial(step: int, s: int) -> int:
+    """Distance between partners at ``step`` of a distance-halving binomial tree."""
+    if not 0 <= step < s:
+        raise ValueError(f"step {step} out of range for s={s}")
+    return 1 << (s - step - 1)
+
+
+def delta_bine(step: int, s: int) -> int:
+    """Distance between partners at ``step`` of a distance-halving Bine tree.
+
+    ``|Σ_{j=0}^{s−i−1} (−2)^j| = |(1 − (−2)^{s−i})/3|``.
+    """
+    if not 0 <= step < s:
+        raise ValueError(f"step {step} out of range for s={s}")
+    return abs(bine_sigma(s - step))
+
+
+def distance_ratio(step: int, s: int) -> float:
+    """``δ_bine / δ_binomial`` at a given step — converges to 2/3 (Eq. 2)."""
+    return delta_bine(step, s) / delta_binomial(step, s)

@@ -1,0 +1,77 @@
+"""Multi-ported torus scheduling (paper Appendix D.4, Fugaku Sec. 5.4).
+
+Fugaku nodes drive six NICs concurrently.  The paper exploits this by
+splitting the collective's vector into ``2·D`` parts on a ``D``-dimensional
+torus and running ``2·D`` collectives in parallel, each traversing the
+dimensions in a rotated order (and half of them with mirrored direction), so
+at any step every port of a node carries a different sub-collective.
+
+This module produces the rotated/mirrored dimension orders and the port
+assignment consumed by the torus collectives and the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.torus_opt import TorusShape, dimension_schedule
+
+__all__ = ["PortPlan", "multiport_plans", "rotated_dimension_schedule"]
+
+
+@dataclass(frozen=True)
+class PortPlan:
+    """One of the ``2·D`` parallel sub-collectives.
+
+    ``port``: index of the NIC this sub-collective injects on.
+    ``order``: its ``(dimension, per-dim step)`` global step order.
+    ``mirror``: whether coordinates are mirrored (−direction traversal),
+    spreading traffic over the opposite-direction links.
+    """
+
+    port: int
+    order: tuple[tuple[int, int], ...]
+    mirror: bool
+
+
+def rotated_dimension_schedule(shape: TorusShape, rotation: int) -> list[tuple[int, int]]:
+    """Dimension schedule with the round-robin start rotated by ``rotation``.
+
+    Rotation permutes which dimension goes first in every round: the E→N→W→S
+    vs N→W→S→E orders of paper Fig. 18.
+    """
+    base = dimension_schedule(shape)
+    ndims = shape.num_dims
+    # Group base schedule by round, rotate the within-round dimension order.
+    rounds: list[list[tuple[int, int]]] = []
+    for item in base:
+        if not rounds or any(item[0] == prev[0] for prev in rounds[-1]):
+            rounds.append([item])
+        else:
+            rounds[-1].append(item)
+    out: list[tuple[int, int]] = []
+    for rnd in rounds:
+        k = rotation % len(rnd)
+        out.extend(rnd[k:] + rnd[:k])
+    return out
+
+
+def multiport_plans(shape: TorusShape) -> list[PortPlan]:
+    """The ``2·D`` port plans for ``shape``.
+
+    Ports ``0 … D−1`` use rotations ``0 … D−1`` in the + direction; ports
+    ``D … 2D−1`` reuse the rotations mirrored.
+    """
+    ndims = shape.num_dims
+    plans = []
+    for port in range(2 * ndims):
+        rotation = port % ndims
+        mirror = port >= ndims
+        plans.append(
+            PortPlan(
+                port=port,
+                order=tuple(rotated_dimension_schedule(shape, rotation)),
+                mirror=mirror,
+            )
+        )
+    return plans

@@ -1,0 +1,225 @@
+"""Non-power-of-two rank counts (paper Appendix C).
+
+Two techniques are implemented:
+
+* **Even-p duplicate-subtree pruning** — for even ``p`` the Bine tree rules
+  are run unchanged; some ranks would be reached twice, and the send that
+  arrives *later* (whose subtree is provably the smaller, contained one) is
+  simply skipped.  No extra communication volume (Fig. 15).
+
+* **Power-of-two fold** — the classic technique usable for any ``p`` (and the
+  only option for odd ``p``): the last ``p − p′`` ranks first fold their data
+  onto the first ``p − p′`` ranks, the collective runs over the leading
+  ``p′ = 2^⌊log2 p⌋`` ranks, and results unfold back.  This doubles the
+  volume handled by the folded ranks, which is why the paper prefers pruning
+  when ``p`` is even.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.negabinary import (
+    nb_to_rank,
+    ones_mask,
+    rank_to_nb,
+)
+from repro.core.tree import Tree, TreeError
+
+__all__ = [
+    "PrunedTree",
+    "bine_tree_dh_pruned",
+    "FoldPlan",
+    "fold_plan",
+    "ceil_log2",
+]
+
+
+def ceil_log2(p: int) -> int:
+    """Smallest ``s`` with ``2**s >= p``."""
+    if p <= 0:
+        raise ValueError("p must be positive")
+    return (p - 1).bit_length()
+
+
+def _rank_to_nb_general(rank: int, p: int, s: int) -> int:
+    """rank2nb extended to non-power-of-two ``p`` on ``s`` digits.
+
+    Uses the positive encoding when it fits in ``s`` digits and the
+    ``rank − p`` encoding otherwise, mirroring the power-of-two rule.
+    """
+    from repro.core.negabinary import max_positive, to_negabinary
+
+    value = rank if rank <= max_positive(s) else rank - p
+    bits = to_negabinary(value)
+    if bits >= (1 << s):
+        # Fall back to the other encoding if the preferred one overflows.
+        alt = to_negabinary(rank - p if value == rank else rank)
+        if alt < (1 << s):
+            return alt
+        raise ValueError(f"rank {rank} not representable on {s} negabinary digits")
+    return bits
+
+
+@dataclass(frozen=True)
+class PrunedTree:
+    """A Bine tree over even non-power-of-two ``p`` with duplicate subtrees removed.
+
+    Exposes the same query surface the schedules need (`recv_step`,
+    `children`, `subtree`) plus the list of virtual subtree roots that were
+    pruned (as ``(step, parent, rank)``).
+    """
+
+    p: int
+    root: int
+    kind: str
+    num_steps: int
+    edges: tuple[tuple[tuple[int, int], ...], ...]
+    pruned_edges: tuple[tuple[int, int, int], ...]  # (step, src, dst)
+    _recv_step: tuple[int, ...]
+    _parent: tuple[int, ...]
+    _children: tuple[tuple[tuple[int, int], ...], ...]
+
+    def recv_step(self, rank: int) -> int:
+        return self._recv_step[rank]
+
+    def parent(self, rank: int) -> int | None:
+        par = self._parent[rank]
+        return None if par < 0 else par
+
+    def children(self, rank: int) -> tuple[tuple[int, int], ...]:
+        return self._children[rank]
+
+    def subtree(self, rank: int) -> list[int]:
+        out = []
+        stack = [rank]
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            for _, child in reversed(self._children[node]):
+                stack.append(child)
+        return out
+
+    def all_edges(self) -> list[tuple[int, int, int]]:
+        return [(i, u, v) for i, es in enumerate(self.edges) for (u, v) in es]
+
+
+def bine_tree_dh_pruned(p: int, root: int = 0) -> PrunedTree:
+    """Distance-halving Bine tree for even (non-power-of-two) ``p``.
+
+    Construction (Appendix C, Fig. 15): build the *virtual* Bine tree over
+    ``2^⌈log2 p⌉`` negabinary labels; each label maps to the real rank
+    ``value mod p``, so ``2^s − p`` real ranks carry two labels and would be
+    reached twice.  The arrival that happens *later* roots the smaller,
+    redundant subtree — prune it.  Communication volume matches the
+    power-of-two case exactly (no folding).
+
+    Raises :class:`TreeError` for odd ``p > 1`` (pairwise sends make a
+    second arrival unavoidable; use :func:`fold_plan` instead — Appendix C).
+    """
+    if p <= 0:
+        raise ValueError("p must be positive")
+    if p % 2 == 1 and p > 1:
+        raise TreeError(f"pruned construction requires even p, got {p}")
+    s = max(ceil_log2(p), 1) if p > 1 else 0
+    from repro.core.bine_tree import bine_tree_distance_halving
+    from repro.core.negabinary import from_negabinary, rank_to_nb
+
+    p_virt = 1 << s
+    vtree = bine_tree_distance_halving(p_virt)
+    real = [from_negabinary(rank_to_nb(v, p_virt)) % p for v in range(p_virt)]
+
+    recv = [-2] * p
+    parent = [-1] * p
+    children: list[list[tuple[int, int]]] = [[] for _ in range(p)]
+    edges: list[list[tuple[int, int]]] = [[] for _ in range(s)]
+    pruned: list[tuple[int, int, int]] = []
+    alive = [False] * p_virt
+    alive[0] = True
+    recv[real[0]] = -1
+
+    # Walk virtual edges in step order; an edge whose real target was already
+    # reached roots a duplicate subtree — drop it (its descendants stay dead
+    # because their virtual parent is dead).
+    for step in range(vtree.num_steps):
+        for (u, v) in vtree.edges[step]:
+            if not alive[u]:
+                continue
+            ru, rv = real[u], real[v]
+            if recv[rv] != -2 or rv == real[0]:
+                pruned.append((step, ru, rv))
+                continue
+            alive[v] = True
+            recv[rv] = step
+            parent[rv] = ru
+            children[ru].append((step, rv))
+            edges[step].append((ru, rv))
+    unreached = [r for r in range(p) if recv[r] == -2]
+    if unreached:
+        raise TreeError(
+            f"pruned Bine tree over p={p} leaves ranks unreached: {unreached}"
+        )
+
+    def absr(r: int) -> int:
+        return (r + root) % p
+
+    a_recv = [0] * p
+    a_parent = [-1] * p
+    a_children: list[tuple[tuple[int, int], ...]] = [()] * p
+    for r in range(p):
+        a_recv[absr(r)] = recv[r]
+        a_parent[absr(r)] = -1 if parent[r] < 0 else absr(parent[r])
+        a_children[absr(r)] = tuple((st, absr(c)) for st, c in children[r])
+    a_edges = tuple(tuple((absr(u), absr(v)) for (u, v) in es) for es in edges)
+    a_pruned = tuple((st, absr(u), absr(v)) for (st, u, v) in pruned)
+    return PrunedTree(
+        p=p,
+        root=root,
+        kind="bine-dh-pruned",
+        num_steps=s,
+        edges=a_edges,
+        pruned_edges=a_pruned,
+        _recv_step=tuple(a_recv),
+        _parent=tuple(a_parent),
+        _children=tuple(a_children),
+    )
+
+
+@dataclass(frozen=True)
+class FoldPlan:
+    """Pre/post communication for running a power-of-two kernel over any ``p``.
+
+    ``pre_pairs``: ``(extra_rank, proxy_rank)`` — before the kernel, each
+    extra rank (``>= p_prime``) sends its contribution to its proxy.
+    ``post_pairs``: the reverse transfers restoring results to extra ranks.
+    """
+
+    p: int
+    p_prime: int
+    pre_pairs: tuple[tuple[int, int], ...]
+
+    @property
+    def extra(self) -> int:
+        return self.p - self.p_prime
+
+    @property
+    def post_pairs(self) -> tuple[tuple[int, int], ...]:
+        return tuple((proxy, extra) for extra, proxy in self.pre_pairs)
+
+    def proxy_of(self, rank: int) -> int:
+        """Rank that acts for ``rank`` inside the power-of-two kernel."""
+        if rank < self.p_prime:
+            return rank
+        return rank - self.p_prime
+
+
+def fold_plan(p: int) -> FoldPlan:
+    """Fold ranks ``p′ … p−1`` onto ranks ``0 … p−p′−1`` (Appendix C)."""
+    if p <= 0:
+        raise ValueError("p must be positive")
+    p_prime = 1 << (p.bit_length() - 1)
+    if p_prime == p:
+        return FoldPlan(p=p, p_prime=p, pre_pairs=())
+    pairs = tuple((r, r - p_prime) for r in range(p_prime, p))
+    return FoldPlan(p=p, p_prime=p_prime, pre_pairs=pairs)

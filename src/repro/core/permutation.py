@@ -1,0 +1,106 @@
+"""Block permutations for contiguous transmission (Sec. 4.3.1, App. D.2).
+
+The distance-doubling Bine butterfly sends *non-contiguous* block sets.  The
+"permute" strategy fixes this by relocating block ``i`` to position
+``reverse(ν(i))``: descendants share least-significant ν bits, so after bit
+reversal they share most-significant position bits — i.e. they are contiguous.
+
+Torus-optimised trees (App. D.2) instead use a DFS-postorder renumbering of
+the tree, which serves the same purpose for arbitrary tree shapes.
+"""
+
+from __future__ import annotations
+
+from repro.core.bine_tree import nu_labels
+from repro.core.negabinary import bit_reverse
+from repro.core.tree import Tree, log2_exact
+
+__all__ = [
+    "bine_block_permutation",
+    "invert_permutation",
+    "compose_permutations",
+    "apply_permutation",
+    "identity_permutation",
+    "dfs_postorder_permutation",
+    "rotation_permutation",
+    "mirror_permutation",
+]
+
+
+def bine_block_permutation(p: int) -> list[int]:
+    """``perm[i] = reverse(ν(i))`` — destination position of block ``i``.
+
+    Paper Fig. 8: with this relocation, every send of the Bine
+    reduce-scatter/allgather touches one contiguous region.
+    """
+    s = log2_exact(p)
+    perm = [bit_reverse(nu, s) for nu in nu_labels(p)]
+    _check_bijection(perm)
+    return perm
+
+
+def identity_permutation(p: int) -> list[int]:
+    return list(range(p))
+
+
+def rotation_permutation(p: int, shift: int) -> list[int]:
+    """``perm[i] = (i + shift) mod p``."""
+    return [(i + shift) % p for i in range(p)]
+
+
+def mirror_permutation(p: int, pivot: int = 0) -> list[int]:
+    """``perm[i] = (pivot − i) mod p`` — the odd-rank mirroring of Sec. 3.1."""
+    return [(pivot - i) % p for i in range(p)]
+
+
+def invert_permutation(perm: list[int]) -> list[int]:
+    """Inverse permutation: ``inv[perm[i]] = i``."""
+    _check_bijection(perm)
+    inv = [0] * len(perm)
+    for i, dst in enumerate(perm):
+        inv[dst] = i
+    return inv
+
+
+def compose_permutations(first: list[int], then: list[int]) -> list[int]:
+    """Permutation equal to applying ``first`` and then ``then``."""
+    if len(first) != len(then):
+        raise ValueError("permutation length mismatch")
+    return [then[first[i]] for i in range(len(first))]
+
+
+def apply_permutation(perm: list[int], items: list) -> list:
+    """Place ``items[i]`` at position ``perm[i]`` in the output."""
+    if len(perm) != len(items):
+        raise ValueError("length mismatch")
+    out = [None] * len(items)
+    for i, dst in enumerate(perm):
+        out[dst] = items[i]
+    return out
+
+
+def dfs_postorder_permutation(tree: Tree) -> list[int]:
+    """Renumber ranks by DFS postorder of ``tree`` (App. D.2).
+
+    ``perm[rank] = position``: a node is numbered after all its children, so
+    every subtree occupies a contiguous positional range — the torus analogue
+    of the ν bit-reversal trick.
+    """
+    perm = [-1] * tree.p
+    counter = 0
+
+    def visit(node: int) -> None:
+        nonlocal counter
+        for _, child in tree.children(node):
+            visit(child)
+        perm[node] = counter
+        counter += 1
+
+    visit(tree.root)
+    _check_bijection(perm)
+    return perm
+
+
+def _check_bijection(perm: list[int]) -> None:
+    if sorted(perm) != list(range(len(perm))):
+        raise ValueError("not a bijection onto 0..p-1")

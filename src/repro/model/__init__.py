@@ -1,0 +1,29 @@
+"""Traffic accounting and the alpha-beta-congestion performance model."""
+
+from repro.model.cost import CostParams
+from repro.model.simulator import (
+    RunMetrics,
+    ScheduleProfile,
+    StepProfile,
+    evaluate_time,
+    profile_schedule,
+)
+from repro.model.traffic import (
+    global_traffic_elems,
+    link_loads_per_step,
+    traffic_by_class,
+    traffic_reduction,
+)
+
+__all__ = [
+    "CostParams",
+    "RunMetrics",
+    "ScheduleProfile",
+    "StepProfile",
+    "evaluate_time",
+    "profile_schedule",
+    "global_traffic_elems",
+    "link_loads_per_step",
+    "traffic_by_class",
+    "traffic_reduction",
+]

@@ -1,0 +1,254 @@
+"""Schedule → time/traffic evaluation under a topology and cost model.
+
+Profiles make sweeps cheap: a schedule is built once per ``(algorithm, p)``
+at the canonical size ``n = p`` elements (block size 1), routed once per
+topology/mapping, and collapsed into per-step aggregates in *element units*.
+Evaluating any real vector size then just scales the byte terms by
+``n / n_build`` — latency terms (hops, segment counts) are size-invariant.
+This mirrors how the algorithms behave: their communication structure does
+not depend on the vector size, only their per-transfer byte counts do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model.cost import CostParams
+from repro.runtime.schedule import Schedule
+from repro.topology.base import LinkClass, Topology
+from repro.topology.mapping import RankMap
+
+__all__ = ["StepProfile", "ScheduleProfile", "profile_schedule", "evaluate_time", "RunMetrics"]
+
+
+@dataclass(frozen=True)
+class StepProfile:
+    """Size-invariant aggregates for one step (element units at build size)."""
+
+    #: unique (hops_by_class, segments) latency signatures
+    lat_signatures: tuple[tuple[tuple[tuple[str, int], ...], int], ...]
+    #: max element load on any single link, per class
+    max_link_load: tuple[tuple[str, int], ...]
+    #: max elements injected / ejected by any node
+    max_inj: int
+    max_ej: int
+    #: max elements reduced at any rank (incoming transfers with an op)
+    max_reduce: int
+    #: max elements moved locally at any rank (pre+post copies)
+    max_copy: int
+    #: total elements crossing group boundaries
+    global_elems: int
+    #: total elements by link class (element·link products)
+    class_elems: tuple[tuple[str, int], ...]
+    #: max messages handled (sent+received) by any rank this step
+    max_node_msgs: int = 0
+
+
+@dataclass(frozen=True)
+class ScheduleProfile:
+    """All steps plus metadata needed for evaluation."""
+
+    p: int
+    n_build: int
+    meta: dict = field(hash=False)
+    steps: tuple[StepProfile, ...] = ()
+
+    @property
+    def segmented(self) -> bool:
+        return bool(self.meta.get("segmented", False))
+
+    def total_global_elems(self) -> int:
+        return sum(s.global_elems for s in self.steps)
+
+    def total_class_elems(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for s in self.steps:
+            for cls, e in s.class_elems:
+                out[cls] = out.get(cls, 0) + e
+        return out
+
+
+def profile_step(
+    transfers,
+    local_ops,
+    topo: Topology,
+    rank_map: RankMap,
+    groups,
+    route_cache: dict,
+) -> StepProfile:
+    """Collapse one step's transfers/local ops into a :class:`StepProfile`.
+
+    ``transfers`` yields ``(src_rank, dst_rank, nelems, num_segments, has_op)``
+    tuples; ``local_ops`` yields ``(rank, nelems, has_op)``.
+    """
+    loads: dict[tuple, int] = {}
+    max_by_class: dict[str, int] = {}
+    inj: dict[int, int] = {}
+    ej: dict[int, int] = {}
+    red: dict[int, int] = {}
+    msgs: dict[int, int] = {}
+    signatures: set = set()
+    global_elems = 0
+    class_elems: dict[str, int] = {}
+    from repro.topology.base import LinkClass
+
+    copy: dict[int, int] = {}
+    for src, dst, nelems, nsegs, has_op in transfers:
+        msgs[src] = msgs.get(src, 0) + 1
+        msgs[dst] = msgs.get(dst, 0) + 1
+        a, b = rank_map.node_of(src), rank_map.node_of(dst)
+        key = (a, b)
+        if key not in route_cache:
+            route_cache[key] = topo.route(a, b)
+        hops: dict[str, int] = {}
+        uses_nic = False
+        for link in route_cache[key]:
+            eff = (loads.get(link.key, 0) + nelems * 1.0 / link.width)
+            loads[link.key] = eff
+            if eff > max_by_class.get(link.cls, 0):
+                max_by_class[link.cls] = eff
+            hops[link.cls] = hops.get(link.cls, 0) + 1
+            class_elems[link.cls] = class_elems.get(link.cls, 0) + nelems
+            if link.cls != LinkClass.INTRA:
+                uses_nic = True
+        signatures.add((tuple(sorted(hops.items())), nsegs))
+        if uses_nic:
+            # NIC injection/ejection; intra-node (clique / shared-memory)
+            # traffic rides the node-local fabric instead.
+            inj[src] = inj.get(src, 0) + nelems
+            ej[dst] = ej.get(dst, 0) + nelems
+        elif a == b:
+            # same node, ppn > 1: a shared-memory copy
+            copy[dst] = copy.get(dst, 0) + nelems
+        if has_op:
+            red[dst] = red.get(dst, 0) + nelems
+        if groups[src] != groups[dst]:
+            global_elems += nelems
+    for rank, nelems, has_op in local_ops:
+        copy[rank] = copy.get(rank, 0) + nelems
+        if has_op:
+            red[rank] = red.get(rank, 0) + nelems
+    return StepProfile(
+        lat_signatures=tuple(sorted(signatures)),
+        max_link_load=tuple(sorted(max_by_class.items())),
+        max_inj=max(inj.values(), default=0),
+        max_ej=max(ej.values(), default=0),
+        max_reduce=max(red.values(), default=0),
+        max_copy=max(copy.values(), default=0),
+        global_elems=global_elems,
+        class_elems=tuple(sorted(class_elems.items())),
+        max_node_msgs=max(msgs.values(), default=0),
+    )
+
+
+def profile_schedule(
+    schedule: Schedule, topo: Topology, rank_map: RankMap
+) -> ScheduleProfile:
+    """Route every transfer and collapse each step into aggregates."""
+    if rank_map.num_ranks != schedule.p:
+        raise ValueError(
+            f"mapping covers {rank_map.num_ranks} ranks, schedule needs {schedule.p}"
+        )
+    groups = rank_map.groups(topo)
+    route_cache: dict[tuple[int, int], list] = {}
+    steps = []
+    for step in schedule.steps:
+        steps.append(
+            profile_step(
+                (
+                    (t.src, t.dst, t.nelems, t.num_segments, t.op is not None)
+                    for t in step.transfers
+                ),
+                (
+                    (lc.rank, lc.nelems, lc.op is not None)
+                    for lc in list(step.pre) + list(step.post)
+                ),
+                topo,
+                rank_map,
+                groups,
+                route_cache,
+            )
+        )
+    return ScheduleProfile(
+        p=schedule.p,
+        n_build=schedule.meta.get("n", schedule.p),
+        meta=dict(schedule.meta),
+        steps=tuple(steps),
+    )
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Evaluation result for one (profile, params, n) combination."""
+
+    time: float
+    global_bytes: float
+    bytes_by_class: dict
+
+    @property
+    def time_us(self) -> float:
+        return self.time * 1e6
+
+
+#: chunks assumed for pipelined (chained) schedules — Sec. 5.4 tree chains
+PIPELINE_CHUNKS = 32
+
+
+def evaluate_time(
+    profile: ScheduleProfile, params: CostParams, n_elems: int
+) -> RunMetrics:
+    """Time and traffic for a vector of ``n_elems`` elements.
+
+    Two schedule-level meta flags refine the step-sum law:
+
+    * ``segmented`` — reduction compute overlaps transport within a step
+      (Sec. 5.2.2);
+    * ``pipelined`` — successive steps forward the *same* data (chain/tree
+      pipelines like Trinaryx): bandwidth terms overlap across steps, so
+      the total pays the per-step latency sum but only
+      ``max_bw · (1 + (steps − 1)/chunks)`` of bandwidth.
+    * ``ports_used`` — how many NICs the schedule can drive concurrently
+      (App. D.4 multiported schedules); capped by the machine's ports.
+    """
+    scale = n_elems / profile.n_build
+    b = params.itemsize
+    ports = min(params.ports, int(profile.meta.get("ports_used", 1)))
+    total = 0.0
+    max_step_bw = 0.0
+    num_steps = max(1, len(profile.steps))
+    for step in profile.steps:
+        lat = 0.0
+        for hops, segs in step.lat_signatures:
+            t = params.alpha + max(0, segs - 1) * params.seg_overhead
+            for cls, h in hops:
+                t += h * params.alpha_hop.get(cls, 0.0)
+            lat = max(lat, t)
+        # endpoint message processing serialises (flat algorithms' roots
+        # handle p−1 messages "in one step")
+        lat += max(0, step.max_node_msgs - 2) * params.msg_cpu
+        bw = 0.0
+        for cls, load in step.max_link_load:
+            bw = max(bw, load * scale * b * params.beta.get(cls, 0.0))
+        bw = max(
+            bw,
+            step.max_inj * scale * b * params.inj_beta / ports,
+            step.max_ej * scale * b * params.inj_beta / ports,
+        )
+        comp = step.max_reduce * scale * b * params.reduce_beta
+        copy = step.max_copy * scale * b * params.copy_beta
+        if profile.meta.get("pipelined"):
+            total += lat + copy
+            max_step_bw = max(max_step_bw, bw + comp)
+        elif profile.segmented:
+            total += lat + max(bw, comp) + copy
+        else:
+            total += lat + bw + comp + copy
+    if profile.meta.get("pipelined"):
+        total += max_step_bw * (1 + (num_steps - 1) / PIPELINE_CHUNKS)
+    return RunMetrics(
+        time=total,
+        global_bytes=profile.total_global_elems() * scale * b,
+        bytes_by_class={
+            cls: e * scale * b for cls, e in profile.total_class_elems().items()
+        },
+    )

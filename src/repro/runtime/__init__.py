@@ -1,0 +1,35 @@
+"""In-process message-passing substrate: schedule IR + deterministic executor."""
+
+from repro.runtime.buffers import RankBuffers
+from repro.runtime.errors import (
+    BufferMismatchError,
+    RuntimeSubstrateError,
+    ScheduleError,
+)
+from repro.runtime.executor import ExecutionTrace, execute, execute_step
+from repro.runtime.reduce_ops import BAND, BOR, BXOR, MAX, MIN, PROD, SUM, ReduceOp, named_op
+from repro.runtime.schedule import LocalCopy, Schedule, Segment, Step, Transfer
+
+__all__ = [
+    "RankBuffers",
+    "Schedule",
+    "Step",
+    "Transfer",
+    "LocalCopy",
+    "Segment",
+    "execute",
+    "execute_step",
+    "ExecutionTrace",
+    "ReduceOp",
+    "named_op",
+    "SUM",
+    "PROD",
+    "MAX",
+    "MIN",
+    "BAND",
+    "BOR",
+    "BXOR",
+    "RuntimeSubstrateError",
+    "ScheduleError",
+    "BufferMismatchError",
+]

@@ -1,0 +1,102 @@
+"""Per-rank named buffer sets for the executor."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.runtime.errors import BufferMismatchError
+
+__all__ = ["RankBuffers", "gather_segments", "scatter_segments"]
+
+
+class RankBuffers:
+    """Named NumPy buffers for each of ``p`` simulated ranks.
+
+    ``buffers[rank][name]`` is that rank's view of buffer ``name``.  All
+    ranks of a given buffer share dtype but may differ in length (e.g. only
+    the root owns a big recv buffer in a gather).
+    """
+
+    def __init__(self, p: int):
+        if p <= 0:
+            raise ValueError("p must be positive")
+        self.p = p
+        self._store: list[dict[str, np.ndarray]] = [dict() for _ in range(p)]
+
+    def allocate(
+        self,
+        name: str,
+        shape_per_rank: int | Iterable[int],
+        dtype=np.int64,
+        fill=0,
+    ) -> None:
+        """Allocate buffer ``name`` on every rank."""
+        if isinstance(shape_per_rank, int):
+            sizes = [shape_per_rank] * self.p
+        else:
+            sizes = list(shape_per_rank)
+            if len(sizes) != self.p:
+                raise ValueError("per-rank size list length mismatch")
+        for r, size in enumerate(sizes):
+            self._store[r][name] = np.full(size, fill, dtype=dtype)
+
+    def set(self, rank: int, name: str, data: np.ndarray) -> None:
+        """Install ``data`` (copied) as buffer ``name`` on ``rank``."""
+        self._store[rank][name] = np.array(data, copy=True)
+
+    def get(self, rank: int, name: str) -> np.ndarray:
+        try:
+            return self._store[rank][name]
+        except KeyError:
+            raise BufferMismatchError(
+                f"rank {rank} has no buffer {name!r} "
+                f"(has {sorted(self._store[rank])})"
+            ) from None
+
+    def has(self, rank: int, name: str) -> bool:
+        return name in self._store[rank]
+
+    def names(self, rank: int) -> list[str]:
+        return sorted(self._store[rank])
+
+    def snapshot(self) -> "RankBuffers":
+        """Deep copy — used by tests to diff executor effects."""
+        out = RankBuffers(self.p)
+        for r in range(self.p):
+            for name, arr in self._store[r].items():
+                out._store[r][name] = arr.copy()
+        return out
+
+
+def gather_segments(buf: np.ndarray, segments) -> np.ndarray:
+    """Concatenate buffer slices for a segment list (the 'pack' step)."""
+    parts = []
+    for lo, hi in segments:
+        if hi > buf.shape[0]:
+            raise BufferMismatchError(
+                f"segment ({lo},{hi}) exceeds buffer of {buf.shape[0]} elems"
+            )
+        parts.append(buf[lo:hi])
+    if not parts:
+        return buf[0:0]
+    return np.concatenate(parts)
+
+
+def scatter_segments(buf: np.ndarray, segments, data: np.ndarray, op=None) -> None:
+    """Write (or reduce) packed ``data`` back into buffer ``segments``."""
+    offset = 0
+    for lo, hi in segments:
+        if hi > buf.shape[0]:
+            raise BufferMismatchError(
+                f"segment ({lo},{hi}) exceeds buffer of {buf.shape[0]} elems"
+            )
+        chunk = data[offset : offset + (hi - lo)]
+        if op is None:
+            buf[lo:hi] = chunk
+        else:
+            buf[lo:hi] = op(buf[lo:hi], chunk)
+        offset += hi - lo
+    if offset != data.shape[0]:
+        raise BufferMismatchError("packed data longer than destination segments")

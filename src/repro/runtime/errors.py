@@ -1,0 +1,17 @@
+"""Structured errors for the runtime substrate."""
+
+from __future__ import annotations
+
+__all__ = ["RuntimeSubstrateError", "ScheduleError", "BufferMismatchError"]
+
+
+class RuntimeSubstrateError(Exception):
+    """Base class for all runtime-substrate failures."""
+
+
+class ScheduleError(RuntimeSubstrateError):
+    """A schedule is structurally invalid (bad ranks, overlapping writes, …)."""
+
+
+class BufferMismatchError(RuntimeSubstrateError):
+    """A transfer's source and destination segment sizes disagree."""

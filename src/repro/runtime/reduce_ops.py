@@ -1,0 +1,49 @@
+"""Reduction operators — the MPI_Op equivalents used by reducing collectives.
+
+Operators must be associative (MPI's default assumption, which the paper
+relies on for arbitrary rank-to-node mappings); commutativity is tracked
+separately because tree reductions may combine contributions out of rank
+order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["ReduceOp", "SUM", "PROD", "MAX", "MIN", "BAND", "BOR", "BXOR", "named_op"]
+
+
+@dataclass(frozen=True)
+class ReduceOp:
+    """An associative elementwise reduction ``acc = fn(acc, incoming)``."""
+
+    name: str
+    fn: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    commutative: bool = True
+
+    def __call__(self, acc: np.ndarray, incoming: np.ndarray) -> np.ndarray:
+        return self.fn(acc, incoming)
+
+
+SUM = ReduceOp("sum", np.add)
+PROD = ReduceOp("prod", np.multiply)
+MAX = ReduceOp("max", np.maximum)
+MIN = ReduceOp("min", np.minimum)
+BAND = ReduceOp("band", np.bitwise_and)
+BOR = ReduceOp("bor", np.bitwise_or)
+BXOR = ReduceOp("bxor", np.bitwise_xor)
+
+_REGISTRY = {op.name: op for op in (SUM, PROD, MAX, MIN, BAND, BOR, BXOR)}
+
+
+def named_op(name: str) -> ReduceOp:
+    """Look up a built-in operator by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown reduce op {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,26 @@
+"""System presets mirroring the paper's four machines (Table 2).
+
+Each preset bundles a topology builder, a cost-parameter set with
+representative (not calibrated) constants, and the node-count grid the paper
+evaluates.  ``system_for(name)`` returns the preset by name.
+"""
+
+from repro.systems.presets import (
+    SystemPreset,
+    fugaku,
+    leonardo,
+    lumi,
+    marenostrum5,
+    system_for,
+    ALL_SYSTEMS,
+)
+
+__all__ = [
+    "SystemPreset",
+    "lumi",
+    "leonardo",
+    "marenostrum5",
+    "fugaku",
+    "system_for",
+    "ALL_SYSTEMS",
+]

@@ -1,0 +1,163 @@
+"""Concrete system models for LUMI, Leonardo, MareNostrum 5 and Fugaku.
+
+Shapes (group counts/sizes, oversubscription, torus form) come from the
+paper's Sec. 5 and the systems' public documentation; bandwidth/latency
+constants are representative values chosen so the *ratios* the paper's
+effects depend on hold (global links slower than local, intra-node much
+faster, Tofu links slowest per-port but six-way parallel).  Absolute
+microseconds are not calibrated and not claimed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.model.cost import CostParams, GiB
+from repro.topology.base import LinkClass, Topology
+from repro.topology.dragonfly import Dragonfly, DragonflyPlus
+from repro.topology.fattree import FatTree
+from repro.topology.torus import Torus
+
+__all__ = [
+    "SystemPreset",
+    "lumi",
+    "leonardo",
+    "marenostrum5",
+    "fugaku",
+    "system_for",
+    "ALL_SYSTEMS",
+]
+
+
+@dataclass(frozen=True)
+class SystemPreset:
+    """A machine: topology factory, cost constants, evaluation grid."""
+
+    name: str
+    topology: Callable[[], Topology]
+    params: CostParams
+    node_counts: tuple[int, ...]
+    #: vector sizes in bytes, paper grid: 32 B … 512 MiB
+    vector_bytes: tuple[int, ...] = tuple(32 * 8**k for k in range(9))
+    notes: str = ""
+
+    def build_topology(self) -> Topology:
+        return self.topology()
+
+
+#: paper's vector grid: 32 B, 256 B, 2 KiB, 16 KiB, 128 KiB, 1 MiB, 8 MiB,
+#: 64 MiB, 512 MiB (factor 8 apart)
+PAPER_VECTOR_BYTES = tuple(32 * 8**k for k in range(9))
+
+
+def lumi() -> SystemPreset:
+    """LUMI: Slingshot Dragonfly, 24 groups × 124 nodes (Sec. 5.1)."""
+    # ≈ 124 nodes × 4 NICs / 23 peer groups ≈ 21 global links per group pair
+    return SystemPreset(
+        name="lumi",
+        topology=lambda: Dragonfly(24, 124, links_per_group_pair=21),
+        params=CostParams(
+            alpha=1.1e-6,
+            beta={
+                LinkClass.LOCAL: 1 / (25 * GiB),
+                LinkClass.GLOBAL: 1 / (12 * GiB),
+                LinkClass.TORUS: 1 / (6.8 * GiB),
+                LinkClass.INTRA: 1 / (150 * GiB),
+            },
+            inj_beta=1 / (25 * GiB),
+            seg_overhead=0.5e-6,
+        ),
+        node_counts=(16, 32, 64, 128, 256, 512, 1024),
+        notes="Cray MPICH baseline selection; max job 1024 nodes",
+    )
+
+
+def leonardo() -> SystemPreset:
+    """Leonardo: InfiniBand Dragonfly+, 23 groups × 180 nodes (Sec. 5.2)."""
+    # ≈ 180 nodes × 2 NICs / 22 peer groups ≈ 16 global links per group pair
+    return SystemPreset(
+        name="leonardo",
+        topology=lambda: DragonflyPlus(23, 180, links_per_group_pair=16),
+        params=CostParams(
+            alpha=1.3e-6,
+            beta={
+                LinkClass.LOCAL: 1 / (25 * GiB),
+                LinkClass.GLOBAL: 1 / (15 * GiB),
+                LinkClass.TORUS: 1 / (6.8 * GiB),
+                LinkClass.INTRA: 1 / (150 * GiB),
+            },
+            inj_beta=1 / (25 * GiB),
+            seg_overhead=0.6e-6,
+        ),
+        node_counts=(16, 32, 64, 128, 256, 512, 1024, 2048),
+        notes="Open MPI baseline selection; >256 nodes in maintenance window",
+    )
+
+
+def marenostrum5() -> SystemPreset:
+    """MareNostrum 5 ACC: NDR200 fat tree, 2:1 oversubscribed (Sec. 5.3)."""
+    return SystemPreset(
+        name="marenostrum5",
+        topology=lambda: FatTree(12, 160, oversubscription=2.0),
+        params=CostParams(
+            alpha=1.0e-6,
+            beta={
+                LinkClass.LOCAL: 1 / (25 * GiB),
+                LinkClass.GLOBAL: 1 / (12.5 * GiB),
+                LinkClass.TORUS: 1 / (6.8 * GiB),
+                LinkClass.INTRA: 1 / (150 * GiB),
+            },
+            inj_beta=1 / (25 * GiB),
+            seg_overhead=0.5e-6,
+        ),
+        node_counts=(4, 8, 16, 32, 64),
+        notes="max 64 nodes per job; subtrees of 160 nodes",
+    )
+
+
+def fugaku(dims: tuple[int, ...] = (8, 8, 8)) -> SystemPreset:
+    """Fugaku: Tofu-D torus; jobs get a 3-D sub-torus (Sec. 5.4).
+
+    Six TNIs per node at 54.4 Gb/s each; ports=6 lets multiported schedules
+    inject in parallel (App. D.4).
+    """
+    return SystemPreset(
+        name="fugaku",
+        topology=lambda: Torus(dims),
+        params=CostParams(
+            alpha=0.9e-6,
+            beta={
+                LinkClass.LOCAL: 1 / (25 * GiB),
+                LinkClass.GLOBAL: 1 / (12.5 * GiB),
+                LinkClass.TORUS: 1 / (6.8 * GiB),
+                LinkClass.INTRA: 1 / (150 * GiB),
+            },
+            inj_beta=1 / (6.8 * GiB),
+            ports=6,
+            alpha_hop={
+                LinkClass.LOCAL: 0.15e-6,
+                LinkClass.GLOBAL: 0.6e-6,
+                LinkClass.TORUS: 0.1e-6,
+                LinkClass.INTRA: 0.05e-6,
+            },
+            seg_overhead=0.5e-6,
+        ),
+        node_counts=(8, 64, 512),
+        notes="evaluated on 2x2x2 … 8x8x8, 64x64 and 32x256 sub-tori",
+    )
+
+
+ALL_SYSTEMS = {
+    "lumi": lumi,
+    "leonardo": leonardo,
+    "marenostrum5": marenostrum5,
+    "fugaku": fugaku,
+}
+
+
+def system_for(name: str) -> SystemPreset:
+    try:
+        return ALL_SYSTEMS[name]()
+    except KeyError:
+        raise KeyError(f"unknown system {name!r}; have {sorted(ALL_SYSTEMS)}") from None

@@ -1,0 +1,32 @@
+"""Network topology models: fat tree, Dragonfly(+), torus, multi-rank nodes."""
+
+from repro.topology.allocation import AllocationSampler, JobAllocation, SystemShape
+from repro.topology.base import Link, LinkClass, Topology
+from repro.topology.dragonfly import Dragonfly, DragonflyPlus
+from repro.topology.fattree import FatTree
+from repro.topology.hierarchical import MultiRankNodes
+from repro.topology.mapping import (
+    RankMap,
+    allocation_mapping,
+    block_mapping,
+    hostname_sorted,
+)
+from repro.topology.torus import Torus
+
+__all__ = [
+    "Topology",
+    "Link",
+    "LinkClass",
+    "FatTree",
+    "Dragonfly",
+    "DragonflyPlus",
+    "Torus",
+    "MultiRankNodes",
+    "RankMap",
+    "block_mapping",
+    "allocation_mapping",
+    "hostname_sorted",
+    "AllocationSampler",
+    "JobAllocation",
+    "SystemShape",
+]

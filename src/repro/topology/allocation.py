@@ -1,0 +1,107 @@
+"""Synthetic job allocations over grouped systems (paper Fig. 5 substrate).
+
+The paper measured one/two weeks of real Slurm allocations on Leonardo and
+LUMI.  We cannot access those traces, so this module samples allocations the
+way a batch scheduler produces them:
+
+* the system is partially busy — each group has a random number of free
+  nodes;
+* a job takes free nodes group by group (block-ish placement, hostnames
+  consecutive), so it lands on a *contiguous-ish but fragmented* group set;
+* heavier fragmentation appears when the machine is busier.
+
+What Fig. 5 measures depends only on each job's group-occupancy vector,
+which this reproduces distributionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SystemShape", "JobAllocation", "AllocationSampler"]
+
+
+@dataclass(frozen=True)
+class SystemShape:
+    """Grouped system: ``num_groups`` groups × ``nodes_per_group`` nodes."""
+
+    name: str
+    num_groups: int
+    nodes_per_group: int
+
+    @property
+    def total_nodes(self) -> int:
+        return self.num_groups * self.nodes_per_group
+
+
+@dataclass(frozen=True)
+class JobAllocation:
+    """One job's nodes (global node ids, block-ordered as Slurm reports)."""
+
+    shape: SystemShape
+    nodes: tuple[int, ...]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def group_of_rank(self, rank: int) -> int:
+        return self.nodes[rank] // self.shape.nodes_per_group
+
+    def groups_spanned(self) -> int:
+        return len({n // self.shape.nodes_per_group for n in self.nodes})
+
+
+class AllocationSampler:
+    """Sample scheduler-like allocations for jobs of a given size."""
+
+    def __init__(self, shape: SystemShape, seed: int = 0, busy_fraction: float = 0.5):
+        if not 0 <= busy_fraction < 1:
+            raise ValueError("busy_fraction must be in [0, 1)")
+        self.shape = shape
+        self.rng = np.random.default_rng(seed)
+        self.busy_fraction = busy_fraction
+
+    def sample(self, num_nodes: int) -> JobAllocation:
+        """Allocate ``num_nodes`` free nodes, walking groups in order.
+
+        Each group independently has ``Binomial(nodes_per_group, 1−busy)``
+        free nodes at random offsets; the job consumes free nodes group by
+        group starting from a random group (the scheduler's scan origin).
+        This yields block-ordered, fragmented allocations like the real
+        traces: small jobs often fit one group, large jobs span many.
+        """
+        shape = self.shape
+        if num_nodes > shape.total_nodes:
+            raise ValueError("job larger than the machine")
+        free_per_group = self.rng.binomial(
+            shape.nodes_per_group, 1.0 - self.busy_fraction, size=shape.num_groups
+        )
+        # Ensure enough total capacity (resample busiest groups upward).
+        deficit = num_nodes - int(free_per_group.sum())
+        gi = 0
+        while deficit > 0:
+            room = shape.nodes_per_group - free_per_group[gi % shape.num_groups]
+            take = min(room, deficit)
+            free_per_group[gi % shape.num_groups] += take
+            deficit -= take
+            gi += 1
+        start = int(self.rng.integers(shape.num_groups))
+        nodes: list[int] = []
+        for k in range(shape.num_groups):
+            g = (start + k) % shape.num_groups
+            avail = int(free_per_group[g])
+            if avail == 0 or len(nodes) >= num_nodes:
+                continue
+            take = min(avail, num_nodes - len(nodes))
+            offsets = np.sort(
+                self.rng.choice(shape.nodes_per_group, size=take, replace=False)
+            )
+            base = g * shape.nodes_per_group
+            nodes.extend(int(base + off) for off in offsets)
+            if len(nodes) >= num_nodes:
+                break
+        assert len(nodes) == num_nodes
+        return JobAllocation(shape, tuple(sorted(nodes)))

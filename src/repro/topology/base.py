@@ -1,0 +1,85 @@
+"""Topology abstraction: nodes, groups, minimal routes, link classes.
+
+The paper's central metric is *bytes crossing global links* — links between
+fully connected groups (Dragonfly/Dragonfly+ groups, fat-tree subtrees) or,
+on a torus, any link at all.  A topology therefore exposes:
+
+* ``group_of(node)`` — the locality unit whose boundary defines "global";
+* ``route(src, dst)`` — the minimal path as a list of :class:`Link`s, each
+  with a class (``local`` / ``global`` / ``torus`` / ``intra``) that the
+  cost model prices separately.
+
+Injection (node → first switch) is *not* part of routes; the cost model
+accounts for it from per-node send totals.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+__all__ = ["Link", "Topology", "LinkClass"]
+
+
+class LinkClass:
+    """Link class names (plain strings so they hash/compare cheaply)."""
+
+    LOCAL = "local"       # intra-group network
+    GLOBAL = "global"     # inter-group / oversubscribed level
+    TORUS = "torus"       # torus mesh link (all oversubscribed, Sec. 5.4.3)
+    INTRA = "intra"       # intra-node (e.g. GPU clique)
+
+
+@dataclass(frozen=True)
+class Link:
+    """A shared network resource.  ``key`` must be unique per resource.
+
+    ``width`` models adaptive routing over parallel physical links: a
+    Dragonfly group pair with 16 global links is one :class:`Link` of width
+    16 — the cost model divides its load by the width, as adaptive routing
+    spreads flows across the bundle (paper Sec. 5.1.1 notes minimal-path
+    accounting is a lower bound for exactly this reason).
+    """
+
+    key: tuple
+    cls: str
+    width: int = 1
+
+
+class Topology(ABC):
+    """Abstract network: node count, groups, minimal routing."""
+
+    @property
+    @abstractmethod
+    def num_nodes(self) -> int: ...
+
+    @abstractmethod
+    def group_of(self, node: int) -> int:
+        """Locality group of ``node`` (global traffic = inter-group bytes)."""
+
+    @abstractmethod
+    def route(self, src: int, dst: int) -> list[Link]:
+        """Minimal path between distinct nodes as shared-link list."""
+
+    # -- shared helpers -----------------------------------------------------
+
+    @property
+    def num_groups(self) -> int:
+        return len({self.group_of(v) for v in range(self.num_nodes)})
+
+    def crosses_groups(self, src: int, dst: int) -> bool:
+        return self.group_of(src) != self.group_of(dst)
+
+    def hops(self, src: int, dst: int) -> tuple[int, int]:
+        """``(local_hops, global_hops)`` on the minimal route."""
+        local = global_ = 0
+        for link in self.route(src, dst):
+            if link.cls in (LinkClass.GLOBAL,):
+                global_ += 1
+            else:
+                local += 1
+        return local, global_
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range for {self.num_nodes} nodes")

@@ -1,0 +1,60 @@
+"""Oversubscribed two-level fat tree (paper Fig. 1, MareNostrum 5 Sec. 5.3).
+
+``nodes_per_subtree`` nodes hang under each full-bandwidth subtree (leaf
+island); subtrees connect upward through ``uplinks_per_subtree`` shared
+links (``nodes_per_subtree / uplinks_per_subtree`` = the oversubscription
+ratio, e.g. 2:1 on MareNostrum 5).  Traffic within a subtree is
+non-blocking; traffic between subtrees takes one uplink and one downlink,
+both class ``global``.
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import Link, LinkClass, Topology
+
+__all__ = ["FatTree"]
+
+
+class FatTree(Topology):
+    """Two-level fat tree with per-subtree uplink oversubscription."""
+
+    def __init__(self, num_subtrees: int, nodes_per_subtree: int, oversubscription: float = 2.0):
+        if num_subtrees <= 0 or nodes_per_subtree <= 0:
+            raise ValueError("subtree counts must be positive")
+        if oversubscription < 1.0:
+            raise ValueError("oversubscription must be >= 1")
+        self.num_subtrees = num_subtrees
+        self.nodes_per_subtree = nodes_per_subtree
+        self.oversubscription = oversubscription
+        self.uplinks_per_subtree = max(1, round(nodes_per_subtree / oversubscription))
+
+    @property
+    def num_nodes(self) -> int:
+        return self.num_subtrees * self.nodes_per_subtree
+
+    def group_of(self, node: int) -> int:
+        self._check_node(node)
+        return node // self.nodes_per_subtree
+
+    def route(self, src: int, dst: int) -> list[Link]:
+        self._check_node(src)
+        self._check_node(dst)
+        if src == dst:
+            return []
+        gs, gd = self.group_of(src), self.group_of(dst)
+        if gs == gd:
+            # Full-bandwidth inside a subtree: one leaf-level hop, modelled as
+            # a dedicated (non-shared) local link pair keyed by the node pair.
+            a, b = min(src, dst), max(src, dst)
+            return [Link(("leaf", gs, a, b), LinkClass.LOCAL)]
+        w = self.uplinks_per_subtree
+        return [
+            Link(("up", gs), LinkClass.GLOBAL, width=w),
+            Link(("down", gd), LinkClass.GLOBAL, width=w),
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"FatTree({self.num_subtrees}x{self.nodes_per_subtree}, "
+            f"{self.oversubscription}:1)"
+        )

@@ -1,0 +1,51 @@
+"""Two-level node model: multiple ranks (GPUs/processes) per network node.
+
+Wraps an inter-node topology: ranks map onto nodes (``ppn`` per node);
+intra-node traffic rides a fully connected clique of class ``intra`` (e.g.
+NVLink on Leonardo/MareNostrum 5, Sec. 6.2), inter-node traffic takes the
+wrapped topology's route between the owning nodes.
+
+This topology's "nodes" are *ranks*; use it when the schedule's rank count
+equals ``nodes × ppn``.
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import Link, LinkClass, Topology
+
+__all__ = ["MultiRankNodes"]
+
+
+class MultiRankNodes(Topology):
+    """``ppn`` ranks per node of an underlying inter-node topology."""
+
+    def __init__(self, inner: Topology, ppn: int):
+        if ppn <= 0:
+            raise ValueError("ppn must be positive")
+        self.inner = inner
+        self.ppn = ppn
+
+    @property
+    def num_nodes(self) -> int:  # ranks, in this topology's address space
+        return self.inner.num_nodes * self.ppn
+
+    def node_of(self, rank: int) -> int:
+        self._check_node(rank)
+        return rank // self.ppn
+
+    def group_of(self, rank: int) -> int:
+        return self.inner.group_of(self.node_of(rank))
+
+    def route(self, src: int, dst: int) -> list[Link]:
+        self._check_node(src)
+        self._check_node(dst)
+        if src == dst:
+            return []
+        ns, nd = self.node_of(src), self.node_of(dst)
+        if ns == nd:
+            a, b = min(src, dst), max(src, dst)
+            return [Link(("gpu", ns, a, b), LinkClass.INTRA)]
+        return self.inner.route(ns, nd)
+
+    def __repr__(self) -> str:
+        return f"MultiRankNodes({self.inner!r}, ppn={self.ppn})"

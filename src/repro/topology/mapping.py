@@ -1,0 +1,71 @@
+"""Rank → node mappings (paper Sec. 2.2 and Sec. 5 methodology).
+
+The paper's experiments request node counts "without any specific
+placement"; the scheduler hands back nodes whose hostnames are numbered
+consecutively across groups, and ranks are laid out block-wise (Slurm's
+default).  Mappings here model that and the deviations studied in Fig. 5:
+
+* :func:`block_mapping` — rank ``r`` → node ``r`` (1 ppn) or ``r // ppn``;
+* :func:`allocation_mapping` — ranks onto an explicit node list (a job
+  allocation possibly scattered over groups);
+* :func:`hostname_sorted` — the paper's remedy when an allocation is not
+  block-ordered: sort the allocated nodes and re-map (Sec. 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.topology.base import Topology
+
+__all__ = ["RankMap", "block_mapping", "allocation_mapping", "hostname_sorted"]
+
+
+@dataclass(frozen=True)
+class RankMap:
+    """Immutable rank → node table with group lookups."""
+
+    nodes: tuple[int, ...]  # nodes[rank] = node id
+
+    @property
+    def num_ranks(self) -> int:
+        return len(self.nodes)
+
+    def node_of(self, rank: int) -> int:
+        return self.nodes[rank]
+
+    def groups(self, topo: Topology) -> list[int]:
+        """Group of each rank under ``topo``."""
+        return [topo.group_of(v) for v in self.nodes]
+
+    def ranks_per_group(self, topo: Topology) -> dict[int, int]:
+        out: dict[int, int] = {}
+        for g in self.groups(topo):
+            out[g] = out.get(g, 0) + 1
+        return out
+
+
+def block_mapping(p: int, ppn: int = 1, first_node: int = 0) -> RankMap:
+    """Slurm-default block distribution: consecutive ranks share nodes."""
+    if p <= 0 or ppn <= 0:
+        raise ValueError("p and ppn must be positive")
+    return RankMap(tuple(first_node + r // ppn for r in range(p)))
+
+
+def allocation_mapping(node_list: Sequence[int], ppn: int = 1) -> RankMap:
+    """Ranks laid block-wise over an explicit allocated node list."""
+    nodes = []
+    for node in node_list:
+        nodes.extend([node] * ppn)
+    return RankMap(tuple(nodes))
+
+
+def hostname_sorted(node_list: Sequence[int], ppn: int = 1) -> RankMap:
+    """The paper's hostname-sort remap: allocate, then order nodes.
+
+    On the studied systems hostnames number consecutively across groups, so
+    sorting node ids restores the block property Bine's modulo distance
+    assumes (Sec. 2.2).
+    """
+    return allocation_mapping(sorted(node_list), ppn)

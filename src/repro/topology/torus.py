@@ -1,0 +1,81 @@
+"""D-dimensional torus (Fugaku Sec. 5.4, Appendix D).
+
+Dimension-ordered minimal routing; every mesh link is a distinct directed
+shared resource of class ``torus`` (the paper: "on a torus, all links can be
+considered oversubscribed").  For global-traffic reporting, groups are slabs
+along dimension 0 — a coarse but monotone locality proxy used only for the
+traffic *metric*, never for routing.
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import Link, LinkClass, Topology
+
+__all__ = ["Torus"]
+
+
+class Torus(Topology):
+    """Torus with arbitrary per-dimension extents."""
+
+    def __init__(self, dims: tuple[int, ...]):
+        if not dims or any(d <= 0 for d in dims):
+            raise ValueError("torus dims must be positive")
+        self.dims = tuple(dims)
+
+    @property
+    def num_nodes(self) -> int:
+        out = 1
+        for d in self.dims:
+            out *= d
+        return out
+
+    @property
+    def num_dims(self) -> int:
+        return len(self.dims)
+
+    def coords(self, node: int) -> tuple[int, ...]:
+        self._check_node(node)
+        out = []
+        for d in reversed(self.dims):
+            out.append(node % d)
+            node //= d
+        return tuple(reversed(out))
+
+    def node_at(self, coords: tuple[int, ...]) -> int:
+        r = 0
+        for c, d in zip(coords, self.dims):
+            r = r * d + c % d
+        return r
+
+    def group_of(self, node: int) -> int:
+        return self.coords(node)[0]
+
+    def route(self, src: int, dst: int) -> list[Link]:
+        self._check_node(src)
+        self._check_node(dst)
+        links: list[Link] = []
+        cur = list(self.coords(src))
+        tgt = self.coords(dst)
+        for dim, d in enumerate(self.dims):
+            delta = (tgt[dim] - cur[dim]) % d
+            step = 1 if delta <= d - delta else -1
+            hops = delta if step == 1 else d - delta
+            for _ in range(hops):
+                here = tuple(cur)
+                cur[dim] = (cur[dim] + step) % d
+                links.append(
+                    Link(("t", dim, here, step), LinkClass.TORUS)
+                )
+        return links
+
+    def torus_distance(self, src: int, dst: int) -> int:
+        """Total minimal hop count (the Fig. 16 'actual distance')."""
+        cs, cd = self.coords(src), self.coords(dst)
+        total = 0
+        for a, b, d in zip(cs, cd, self.dims):
+            delta = abs(a - b)
+            total += min(delta, d - delta)
+        return total
+
+    def __repr__(self) -> str:
+        return f"Torus({'x'.join(map(str, self.dims))})"

@@ -1,0 +1,134 @@
+"""Tests for block partitioning and circular ranges (paper Secs. 4.1-4.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.blocks import CircularRange, Partition, wrap_range_from_set
+
+
+class TestPartition:
+    def test_even_split(self):
+        part = Partition(12, 4)
+        assert [part.size(i) for i in range(4)] == [3, 3, 3, 3]
+        assert part.bounds(2) == (6, 9)
+
+    def test_uneven_split_mpi_style(self):
+        # First n mod p blocks get the extra element.
+        part = Partition(10, 4)
+        assert [part.size(i) for i in range(4)] == [3, 3, 2, 2]
+        assert part.bounds(0) == (0, 3)
+        assert part.bounds(2) == (6, 8)
+        assert part.bounds(3) == (8, 10)
+
+    def test_more_ranks_than_elements(self):
+        part = Partition(3, 8)
+        assert sum(part.size(i) for i in range(8)) == 3
+        assert part.size(7) == 0
+        lo, hi = part.bounds(7)
+        assert lo == hi == 3
+
+    @given(st.integers(min_value=0, max_value=500), st.integers(min_value=1, max_value=64))
+    def test_blocks_tile_exactly(self, n, p):
+        part = Partition(n, p)
+        cursor = 0
+        for b in range(p):
+            lo, hi = part.bounds(b)
+            assert lo == cursor
+            assert hi - lo == part.size(b)
+            cursor = hi
+        assert cursor == n
+
+    @given(st.integers(min_value=1, max_value=500), st.integers(min_value=1, max_value=64))
+    def test_owner_of_consistent(self, n, p):
+        part = Partition(n, p)
+        for e in range(0, n, max(1, n // 17)):
+            b = part.owner_of(e)
+            lo, hi = part.bounds(b)
+            assert lo <= e < hi
+
+    def test_segments_coalesce(self):
+        part = Partition(12, 4)
+        assert part.segments([0, 1]) == [(0, 6)]
+        assert part.segments([0, 2]) == [(0, 3), (6, 9)]
+        assert part.segments([2, 0, 1]) == [(0, 9)]
+
+    def test_total(self):
+        part = Partition(10, 4)
+        assert part.total([0, 3]) == 5
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Partition(10, 0)
+        with pytest.raises(ValueError):
+            Partition(10, 4).bounds(4)
+        with pytest.raises(ValueError):
+            Partition(10, 4).owner_of(10)
+
+
+class TestCircularRange:
+    def test_wrap_indices(self):
+        cr = CircularRange(6, 4, 8)
+        assert cr.indices() == [6, 7, 0, 1]
+        assert cr.wraps()
+        assert cr.end == 1
+
+    def test_no_wrap(self):
+        cr = CircularRange(2, 3, 8)
+        assert cr.indices() == [2, 3, 4]
+        assert not cr.wraps()
+
+    def test_contains(self):
+        cr = CircularRange(6, 4, 8)
+        for b in (6, 7, 0, 1):
+            assert cr.contains(b)
+        for b in (2, 5):
+            assert not cr.contains(b)
+
+    def test_merge_adjacent(self):
+        a = CircularRange(6, 2, 8)  # {6,7}
+        b = CircularRange(0, 2, 8)  # {0,1}
+        merged = a.merge(b)
+        assert merged.as_set() == {6, 7, 0, 1}
+        # merge is symmetric
+        assert b.merge(a).as_set() == merged.as_set()
+
+    def test_merge_non_adjacent_raises(self):
+        a = CircularRange(0, 2, 8)
+        b = CircularRange(4, 2, 8)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_empty(self):
+        a = CircularRange(3, 0, 8)
+        b = CircularRange(5, 2, 8)
+        assert a.merge(b) is b
+
+    def test_segments_wrap_two_transmissions(self):
+        # Sec. 4.3.1: a wrapped range linearises to exactly two segments.
+        part = Partition(16, 8)
+        cr = CircularRange(6, 4, 8)
+        assert cr.segments(part) == [(0, 4), (12, 16)]
+
+    def test_segments_no_wrap_single(self):
+        part = Partition(16, 8)
+        cr = CircularRange(2, 3, 8)
+        assert cr.segments(part) == [(4, 10)]
+
+    @given(
+        st.integers(min_value=1, max_value=32),
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=0, max_value=32),
+    )
+    def test_roundtrip_from_set(self, p, start, length):
+        start %= p
+        length = min(length, p)
+        cr = CircularRange(start, length, p)
+        back = wrap_range_from_set(cr.as_set(), p)
+        assert back.as_set() == cr.as_set()
+
+    def test_from_set_rejects_gaps(self):
+        with pytest.raises(ValueError):
+            wrap_range_from_set({0, 2}, 8)
+
+    def test_from_set_full_circle(self):
+        assert wrap_range_from_set(set(range(8)), 8).length == 8

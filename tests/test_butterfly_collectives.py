@@ -1,0 +1,150 @@
+"""End-to-end correctness of butterfly collectives and the four strategies."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives.butterfly_collectives import (
+    RS_FLAVORS,
+    allgather_butterfly,
+    allreduce_recursive,
+    allreduce_reduce_scatter_allgather,
+    reduce_scatter_butterfly,
+    rs_butterfly_for,
+)
+from repro.collectives.common import Strategy
+from repro.collectives.verify import run_and_check
+from repro.core.butterfly import (
+    bine_butterfly_doubling,
+    bine_butterfly_halving,
+    recursive_doubling_butterfly,
+    recursive_halving_butterfly,
+    swing_butterfly,
+)
+
+POWERS = [2, 4, 8, 16, 32]
+
+
+@pytest.mark.parametrize("flavor", sorted(RS_FLAVORS))
+@pytest.mark.parametrize("p", POWERS)
+class TestReduceScatterAllgatherFlavors:
+    def test_reduce_scatter(self, flavor, p):
+        bf, strategy = rs_butterfly_for(flavor, p)
+        run_and_check(reduce_scatter_butterfly(bf, 4 * p, "sum", strategy))
+
+    def test_allgather(self, flavor, p):
+        bf, strategy = rs_butterfly_for(flavor, p)
+        run_and_check(allgather_butterfly(bf, 4 * p, strategy))
+
+
+class TestUnevenVectors:
+    @pytest.mark.parametrize("n_extra", [1, 3, 7])
+    def test_natural_strategy_uneven(self, n_extra):
+        p = 8
+        bf = bine_butterfly_doubling(p)
+        run_and_check(reduce_scatter_butterfly(bf, 4 * p + n_extra, "sum", Strategy.NATURAL))
+        run_and_check(allgather_butterfly(bf, 4 * p + n_extra, Strategy.NATURAL))
+
+    def test_permute_requires_divisible(self):
+        bf = bine_butterfly_doubling(8)
+        with pytest.raises(ValueError):
+            reduce_scatter_butterfly(bf, 33, "sum", Strategy.PERMUTE)
+
+    def test_send_requires_divisible(self):
+        bf = bine_butterfly_doubling(8)
+        with pytest.raises(ValueError):
+            allgather_butterfly(bf, 33, Strategy.SEND)
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("p", POWERS)
+    @pytest.mark.parametrize(
+        "builder",
+        [bine_butterfly_halving, bine_butterfly_doubling,
+         recursive_doubling_butterfly, swing_butterfly],
+    )
+    def test_recursive(self, p, builder):
+        run_and_check(allreduce_recursive(builder(p), 11))
+
+    @pytest.mark.parametrize("p", POWERS)
+    @pytest.mark.parametrize("strategy", list(Strategy))
+    def test_rsag(self, p, strategy):
+        if strategy is Strategy.TWO_TRANSMISSIONS:
+            bf = bine_butterfly_halving(p)
+        else:
+            bf = bine_butterfly_doubling(p)
+        run_and_check(allreduce_reduce_scatter_allgather(bf, 4 * p, "sum", strategy))
+
+    def test_rabenseifner(self):
+        run_and_check(
+            allreduce_reduce_scatter_allgather(
+                recursive_halving_butterfly(16), 64, "sum", Strategy.NATURAL
+            )
+        )
+
+    @pytest.mark.parametrize("op", ["sum", "max", "min", "prod"])
+    def test_ops(self, op):
+        run_and_check(
+            allreduce_reduce_scatter_allgather(
+                bine_butterfly_doubling(8), 32, op, Strategy.SEND
+            )
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_random_data(self, seed):
+        """Allreduce result is correct for arbitrary input data."""
+        sched = allreduce_reduce_scatter_allgather(
+            bine_butterfly_doubling(8), 32, "sum", Strategy.SEND
+        )
+        run_and_check(sched, seed=seed)
+
+
+class TestContiguityClaims:
+    """The paper's Sec. 4.3.1 contiguity properties, as schedule facts."""
+
+    @pytest.mark.parametrize("p", [8, 16, 32, 64])
+    def test_send_strategy_single_segment(self, p):
+        sched = reduce_scatter_butterfly(
+            bine_butterfly_doubling(p), p * 4, "sum", Strategy.SEND, fixup=False
+        )
+        assert all(t.num_segments == 1 for _, t in sched.all_transfers())
+
+    @pytest.mark.parametrize("p", [8, 16, 32, 64])
+    def test_permute_strategy_single_segment(self, p):
+        sched = reduce_scatter_butterfly(
+            bine_butterfly_doubling(p), p * 4, "sum", Strategy.PERMUTE
+        )
+        assert all(t.num_segments == 1 for _, t in sched.all_transfers())
+
+    @pytest.mark.parametrize("p", [8, 16, 32, 64])
+    def test_two_transmissions_at_most_two(self, p):
+        sched = reduce_scatter_butterfly(
+            bine_butterfly_halving(p), p * 4, "sum", Strategy.TWO_TRANSMISSIONS
+        )
+        assert max(t.num_segments for _, t in sched.all_transfers()) <= 2
+
+    @pytest.mark.parametrize("p", [16, 32, 64])
+    def test_swing_fragments(self, p):
+        sched = reduce_scatter_butterfly(
+            swing_butterfly(p), p * 4, "sum", Strategy.NATURAL
+        )
+        assert max(t.num_segments for _, t in sched.all_transfers()) > 2
+
+    @pytest.mark.parametrize("p", [8, 16, 32])
+    def test_rsag_send_has_no_local_copies(self, p):
+        """The headline trick: allreduce(SEND) never moves data locally."""
+        sched = allreduce_reduce_scatter_allgather(
+            bine_butterfly_doubling(p), p * 4, "sum", Strategy.SEND
+        )
+        for step in sched.steps:
+            assert not step.pre and not step.post
+
+    @pytest.mark.parametrize("p", [8, 16, 32])
+    def test_rsag_volume_optimal(self, p):
+        """Each rank sends n(p−1)/p per phase: 2n(p−1)/p total (Sec. 4.3)."""
+        n = p * 8
+        sched = allreduce_reduce_scatter_allgather(
+            bine_butterfly_doubling(p), n, "sum", Strategy.SEND
+        )
+        per_rank = sched.max_rank_send_elems()
+        assert per_rank == 2 * n * (p - 1) // p

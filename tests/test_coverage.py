@@ -1,0 +1,148 @@
+"""Tests for responsibility/coverage sets (paper Secs. 3.2.3, 4.3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.blocks import wrap_range_from_set
+from repro.core.butterfly import (
+    bine_butterfly_doubling,
+    bine_butterfly_halving,
+    recursive_doubling_butterfly,
+    recursive_halving_butterfly,
+    swing_butterfly,
+)
+from repro.core.coverage import (
+    bine_dd_responsibility,
+    count_segments,
+    count_segments_circular,
+    keep_blocks,
+    recdoub_responsibility,
+    rechalv_responsibility,
+    responsibility,
+    segments_of,
+    send_blocks,
+)
+
+POWERS = [2, 4, 8, 16, 32, 64]
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("p", POWERS)
+    @pytest.mark.parametrize(
+        "builder",
+        [bine_butterfly_doubling, bine_butterfly_halving,
+         recursive_doubling_butterfly, recursive_halving_butterfly],
+    )
+    def test_halving_invariant(self, p, builder):
+        """resp(r, j) = resp(r, j+1) ⊎ resp(partner, j+1); sizes halve."""
+        bf = builder(p)
+        s = bf.num_steps
+        for r in range(p):
+            assert responsibility(bf, r, s) == frozenset({r})
+            assert responsibility(bf, r, 0) == frozenset(range(p))
+            for j in range(s):
+                q = bf.partner(r, j)
+                own = responsibility(bf, r, j + 1)
+                other = responsibility(bf, q, j + 1)
+                assert not own & other
+                assert own | other == responsibility(bf, r, j)
+                assert len(responsibility(bf, r, j)) == p >> j
+
+    @pytest.mark.parametrize("p", POWERS)
+    def test_send_keep_partition(self, p):
+        bf = bine_butterfly_doubling(p)
+        for r in range(p):
+            for j in range(bf.num_steps):
+                s_ = send_blocks(bf, r, j)
+                k_ = keep_blocks(bf, r, j)
+                assert s_ | k_ == responsibility(bf, r, j)
+                assert not s_ & k_
+
+
+class TestClosedForms:
+    @pytest.mark.parametrize("p", POWERS)
+    def test_bine_dd_closed_form(self, p):
+        """Generic recursion equals the paper's ν-mask characterisation."""
+        bf = bine_butterfly_doubling(p)
+        for r in range(p):
+            for j in range(bf.num_steps + 1):
+                assert responsibility(bf, r, j) == bine_dd_responsibility(p, r, j)
+
+    @pytest.mark.parametrize("p", POWERS)
+    def test_recdoub_closed_form(self, p):
+        bf = recursive_doubling_butterfly(p)
+        for r in range(p):
+            for j in range(bf.num_steps + 1):
+                assert responsibility(bf, r, j) == recdoub_responsibility(p, r, j)
+
+    @pytest.mark.parametrize("p", POWERS)
+    def test_rechalv_closed_form_contiguous(self, p):
+        bf = recursive_halving_butterfly(p)
+        for r in range(p):
+            for j in range(bf.num_steps + 1):
+                got = responsibility(bf, r, j)
+                assert got == rechalv_responsibility(p, r, j)
+                # aligned contiguous range — binomial sends are 1 segment
+                assert count_segments(got) == 1
+
+    @pytest.mark.parametrize("p", POWERS)
+    def test_dh_butterfly_sets_circular(self, p):
+        """Two-transmissions variant: ≤ 2 linear segments (Sec. 4.3.1)."""
+        bf = bine_butterfly_halving(p)
+        for r in range(p):
+            for j in range(bf.num_steps + 1):
+                blocks = responsibility(bf, r, j)
+                wrap_range_from_set(blocks, p)  # circular-contiguous
+                assert count_segments(blocks) <= 2
+
+    @pytest.mark.parametrize("p", [8, 16, 32, 64])
+    def test_swing_sets_non_contiguous(self, p):
+        """Swing's natural-layout sends fragment — the cost the paper beats."""
+        bf = swing_butterfly(p)
+        worst = max(
+            count_segments(send_blocks(bf, r, j))
+            for r in range(p)
+            for j in range(bf.num_steps)
+        )
+        assert worst > 2  # strictly worse than the two-transmission bound
+
+
+class TestSegmentCounting:
+    def test_count_segments(self):
+        assert count_segments(set()) == 0
+        assert count_segments({0, 1, 2}) == 1
+        assert count_segments({0, 2, 4}) == 3
+        assert count_segments({0, 1, 5, 6, 9}) == 3
+
+    def test_count_segments_circular(self):
+        assert count_segments_circular({7, 0, 1}, 8) == 1
+        assert count_segments_circular({0, 1, 7}, 8) == 1
+        assert count_segments_circular({0, 2}, 8) == 2
+        assert count_segments_circular(set(range(8)), 8) == 1
+        assert count_segments_circular(set(), 8) == 0
+
+    def test_segments_of(self):
+        assert segments_of({0, 1, 2, 5, 6}) == [(0, 3), (5, 7)]
+        assert segments_of(set()) == []
+        assert segments_of({3}) == [(3, 4)]
+
+    @given(st.sets(st.integers(min_value=0, max_value=63)))
+    @settings(max_examples=200)
+    def test_segments_cover_exactly(self, blocks):
+        segs = segments_of(blocks)
+        covered = {i for lo, hi in segs for i in range(lo, hi)}
+        assert covered == blocks
+        assert len(segs) == count_segments(blocks)
+
+
+class TestOverlapDetection:
+    def test_invalid_overlap_raises(self):
+        """A broken butterfly (non-involutive) must be caught, not silently
+        produce overlapping responsibility sets."""
+        from repro.core.butterfly import Butterfly
+
+        # partners valid per-step but inconsistent across steps: rank 0 meets
+        # rank 1 twice → resp sets overlap at step 0.
+        bad = Butterfly(4, "dup", ((1, 0, 3, 2), (1, 0, 3, 2)))
+        with pytest.raises(AssertionError):
+            responsibility(bad, 0, 0)

@@ -1,0 +1,47 @@
+"""Smoke tests: every example script runs end to end (small configs)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, argv=None):
+    old = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old
+
+
+def test_quickstart(capsys):
+    _run("quickstart.py")
+    out = capsys.readouterr().out
+    assert "verified against NumPy" in out
+    assert "bine-rsag" in out
+
+
+def test_algorithm_playground(capsys):
+    _run("algorithm_playground.py", ["8"])
+    out = capsys.readouterr().out
+    assert "negabinary rank labels" in out
+    assert "reduce-scatter block responsibility" in out
+
+
+@pytest.mark.slow
+def test_traffic_study(capsys):
+    _run("traffic_study.py")
+    out = capsys.readouterr().out
+    assert "6.0n" in out and "3.0n" in out
+    assert "theoretical bound: 33%" in out
+
+
+@pytest.mark.slow
+def test_torus_collectives(capsys):
+    _run("torus_collectives.py")
+    out = capsys.readouterr().out
+    assert "verified against NumPy" in out

@@ -1,0 +1,134 @@
+"""Unit tests for negabinary arithmetic (paper Sec. 2.3.1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.negabinary import (
+    bit_reverse,
+    from_negabinary,
+    max_positive,
+    min_negabinary,
+    nb_digits,
+    nb_to_rank,
+    nb_width,
+    ones_mask,
+    rank_to_nb,
+    to_negabinary,
+    trailing_equal_bits,
+)
+
+
+class TestToFromNegabinary:
+    def test_paper_example_two(self):
+        # Sec. 2.3.1: 2 is 110₋₂ since 4 − 2 = 2.
+        assert to_negabinary(2) == 0b110
+        assert from_negabinary(0b110) == 2
+
+    def test_paper_example_minus_one(self):
+        # Sec. 2.3.1: 011₋₂ = −1.
+        assert from_negabinary(0b011) == -1
+        assert to_negabinary(-1) == 0b11
+
+    def test_paper_example_minus_two(self):
+        # Fig. 3 box G: 010₋₂ = −2.
+        assert from_negabinary(0b010) == -2
+        assert to_negabinary(-2) == 0b10
+
+    def test_zero(self):
+        assert to_negabinary(0) == 0
+        assert from_negabinary(0) == 0
+
+    def test_small_table(self):
+        expected = {
+            1: 0b1, 2: 0b110, 3: 0b111, 4: 0b100, 5: 0b101,
+            -1: 0b11, -2: 0b10, -3: 0b1101, -4: 0b1100,
+        }
+        for value, bits in expected.items():
+            assert to_negabinary(value) == bits, value
+            assert from_negabinary(bits) == value, value
+
+    @given(st.integers(min_value=-(2**40), max_value=2**40))
+    def test_roundtrip(self, value):
+        assert from_negabinary(to_negabinary(value)) == value
+
+    @given(st.integers(min_value=0, max_value=2**20))
+    def test_patterns_unique(self, bits):
+        # from_negabinary is injective: re-encoding gives the same pattern.
+        assert to_negabinary(from_negabinary(bits)) == bits
+
+    def test_from_negabinary_rejects_negative_pattern(self):
+        with pytest.raises(ValueError):
+            from_negabinary(-1)
+
+
+class TestDigitWindows:
+    def test_max_positive_paper_values(self):
+        # Sec. 2.3.1: m = 010101₋₂ = 21 on six digits; 101₋₂ = 5 on three.
+        assert max_positive(6) == 21
+        assert max_positive(3) == 5
+
+    def test_window_width_is_power_of_two(self):
+        for s in range(0, 16):
+            width = max_positive(s) - min_negabinary(s) + 1
+            assert width == 2**s
+
+    @given(st.integers(min_value=1, max_value=18))
+    def test_window_is_exactly_representable(self, s):
+        lo, hi = min_negabinary(s), max_positive(s)
+        for value in (lo, hi, 0):
+            assert nb_width(value) <= s
+        assert nb_width(hi + 1) > s
+        assert nb_width(lo - 1) > s
+
+
+class TestRankEncoding:
+    def test_paper_examples_p8(self):
+        # Sec. 2.3.1: rank2nb(2, 8) = 110 and rank2nb(6, 8) = 010 (= −2).
+        assert rank_to_nb(2, 8) == 0b110
+        assert rank_to_nb(6, 8) == 0b010
+
+    @pytest.mark.parametrize("p", [2, 4, 8, 16, 32, 64, 128, 256])
+    def test_bijection(self, p):
+        seen = set()
+        for r in range(p):
+            bits = rank_to_nb(r, p)
+            assert bits < p  # fits in s digits
+            assert nb_to_rank(bits, p) == r
+            seen.add(bits)
+        assert len(seen) == p
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            rank_to_nb(0, 6)
+
+    def test_rejects_out_of_range_rank(self):
+        with pytest.raises(ValueError):
+            rank_to_nb(8, 8)
+
+
+class TestBitUtilities:
+    def test_ones_mask(self):
+        assert ones_mask(0) == 0
+        assert ones_mask(3) == 0b111
+        with pytest.raises(ValueError):
+            ones_mask(-1)
+
+    def test_trailing_equal_bits_paper_examples(self):
+        # Sec. 2.3.2: u = 3 for 1000 and u = 2 for 1011 (s = 4).
+        assert trailing_equal_bits(0b1000, 4) == 3
+        assert trailing_equal_bits(0b1011, 4) == 2
+
+    def test_trailing_all_same(self):
+        assert trailing_equal_bits(0b0000, 4) == 4
+        assert trailing_equal_bits(0b1111, 4) == 4
+
+    @given(st.integers(min_value=0, max_value=2**12 - 1))
+    def test_bit_reverse_involution(self, bits):
+        assert bit_reverse(bit_reverse(bits, 12), 12) == bits
+
+    def test_bit_reverse_known(self):
+        assert bit_reverse(0b001, 3) == 0b100
+        assert bit_reverse(0b110, 3) == 0b011
+
+    def test_nb_digits_format(self):
+        assert nb_digits(0b101, 5) == "00101"

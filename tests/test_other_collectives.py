@@ -1,0 +1,173 @@
+"""Tests for ring, Bruck, alltoall, composed, and hierarchical collectives."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives.alltoall import (
+    alltoall_bine,
+    alltoall_bruck,
+    alltoall_pairwise,
+)
+from repro.collectives.bruck_allgather import allgather_bruck, allgather_sparbit
+from repro.collectives.composed import (
+    bcast_scatter_allgather_bine,
+    bcast_scatter_allgather_binomial,
+    hierarchical_allreduce_bine,
+    reduce_rsag_bine,
+    reduce_rsag_rabenseifner,
+    remap_schedule,
+)
+from repro.collectives.ring import (
+    linear_gather,
+    linear_scatter,
+    ring_allgather,
+    ring_allreduce,
+    ring_reduce_scatter,
+)
+from repro.collectives.verify import run_and_check
+
+
+class TestRing:
+    @pytest.mark.parametrize("p", [2, 3, 5, 8, 16, 17])
+    def test_allreduce_any_p(self, p):
+        run_and_check(ring_allreduce(p, 3 * p + 1))
+
+    @pytest.mark.parametrize("p", [2, 4, 7, 16])
+    def test_rs_ag(self, p):
+        run_and_check(ring_reduce_scatter(p, 2 * p + 1))
+        run_and_check(ring_allgather(p, 2 * p + 1))
+
+    def test_step_count_linear(self):
+        assert ring_allgather(10, 20).num_steps == 9
+        assert ring_allreduce(10, 20).num_steps == 18
+
+    def test_marked_segmented(self):
+        assert ring_allreduce(4, 8).meta["segmented"] is True
+
+    def test_p1_rejected(self):
+        with pytest.raises(ValueError):
+            ring_allgather(1, 4)
+
+
+class TestLinear:
+    @pytest.mark.parametrize("p", [2, 5, 9])
+    @pytest.mark.parametrize("root", [0, 1])
+    def test_gather_scatter(self, p, root):
+        run_and_check(linear_gather(p, 3 * p, root % p))
+        run_and_check(linear_scatter(p, 3 * p, root % p))
+
+    def test_single_step(self):
+        assert linear_gather(9, 18).num_steps == 1
+
+
+class TestBruckAllgather:
+    @pytest.mark.parametrize("p", [2, 3, 5, 8, 12, 16, 31])
+    def test_correct_any_p(self, p):
+        run_and_check(allgather_bruck(p, 2 * p))
+
+    @pytest.mark.parametrize("p", [2, 5, 8, 13])
+    def test_sparbit_correct(self, p):
+        run_and_check(allgather_sparbit(p, 2 * p))
+
+    def test_log_rounds(self):
+        assert allgather_bruck(16, 32).num_steps == 4
+        assert allgather_bruck(17, 34).num_steps == 5
+
+    def test_bruck_segments_at_most_two(self):
+        sched = allgather_bruck(16, 32)
+        assert max(t.num_segments for _, t in sched.all_transfers()) <= 2
+
+    def test_sparbit_per_block(self):
+        sched = allgather_sparbit(16, 32)
+        assert max(t.num_segments for _, t in sched.all_transfers()) > 2
+
+
+class TestAlltoall:
+    @pytest.mark.parametrize("p", [2, 4, 8, 16])
+    def test_bine(self, p):
+        run_and_check(alltoall_bine(p, 2 * p))
+
+    @pytest.mark.parametrize("p", [2, 3, 5, 8, 12, 16])
+    def test_bruck(self, p):
+        run_and_check(alltoall_bruck(p, 2 * p))
+
+    @pytest.mark.parametrize("p", [2, 3, 5, 8, 16])
+    def test_pairwise(self, p):
+        run_and_check(alltoall_pairwise(p, 2 * p))
+
+    def test_bine_sends_half_per_step(self):
+        """Sec. 4.4: at each step each rank ships n/2 bytes."""
+        p, n = 16, 32
+        sched = alltoall_bine(p, n)
+        for step in sched.steps:
+            if not step.transfers:
+                continue
+            per_rank = {}
+            for t in step.transfers:
+                per_rank[t.src] = per_rank.get(t.src, 0) + t.nelems
+            assert all(v == n // 2 for v in per_rank.values())
+
+    def test_divisibility_required(self):
+        with pytest.raises(ValueError):
+            alltoall_bine(8, 17)
+
+    def test_step_counts(self):
+        assert sum(1 for s in alltoall_pairwise(8, 16).steps if s.transfers) == 7
+        assert sum(1 for s in alltoall_bine(8, 16).steps if s.transfers) == 3
+
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=15, deadline=None)
+    def test_property_random_payloads(self, seed):
+        run_and_check(alltoall_bine(8, 24), seed=seed)
+
+
+class TestComposed:
+    @pytest.mark.parametrize("p", [4, 8, 16, 32])
+    @pytest.mark.parametrize("root", [0, 5])
+    def test_bcast_large(self, p, root):
+        run_and_check(bcast_scatter_allgather_binomial(p, 4 * p, root % p))
+        run_and_check(bcast_scatter_allgather_bine(p, 4 * p, root % p))
+
+    @pytest.mark.parametrize("p", [4, 8, 16, 32])
+    @pytest.mark.parametrize("root", [0, 5])
+    def test_reduce_large(self, p, root):
+        run_and_check(reduce_rsag_rabenseifner(p, 4 * p, root % p))
+        run_and_check(reduce_rsag_bine(p, 4 * p, root % p))
+
+    def test_bine_bcast_no_local_copies(self):
+        """Sec. 4.5: Bine large bcast never reorders data locally."""
+        sched = bcast_scatter_allgather_bine(16, 64)
+        for step in sched.steps:
+            assert not step.pre and not step.post
+
+    def test_bine_reduce_contiguous_at_root0(self):
+        """Sec. 4.5: contiguous transmission throughout for root 0."""
+        sched = reduce_rsag_bine(16, 64, root=0)
+        assert all(t.num_segments == 1 for _, t in sched.all_transfers())
+
+
+class TestHierarchical:
+    @pytest.mark.parametrize("nodes,gpus", [(2, 2), (4, 4), (8, 2), (2, 8)])
+    def test_correct(self, nodes, gpus):
+        run_and_check(hierarchical_allreduce_bine(nodes, gpus, 2 * nodes * gpus))
+
+    def test_meta(self):
+        sched = hierarchical_allreduce_bine(4, 4, 32)
+        assert sched.meta["hierarchical"] is True
+        assert sched.p == 16
+
+    def test_intra_phases_stay_on_node(self):
+        sched = hierarchical_allreduce_bine(4, 4, 32)
+        first, last = sched.steps[0], sched.steps[-1]
+        for step in (first, last):
+            for t in step.transfers:
+                assert t.src // 4 == t.dst // 4  # same node
+
+
+class TestRemap:
+    def test_remap_shifts(self):
+        sched = ring_allreduce(4, 8)
+        out = remap_schedule(sched, [10, 11, 12, 13], 100)
+        _, t = next(iter(out.all_transfers()))
+        assert t.src >= 10 and t.dst >= 10
+        assert all(lo >= 100 for lo, _ in t.src_segments)

@@ -1,0 +1,80 @@
+"""Registry-wide integration and property tests: every algorithm, executed."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives.registry import ALGORITHMS, COLLECTIVES, algorithms_for, build
+from repro.collectives.verify import run_and_check
+
+ALL_KEYS = sorted(ALGORITHMS)
+
+
+class TestRegistry:
+    def test_every_collective_has_bine_and_baseline(self):
+        for coll in COLLECTIVES:
+            families = {ALGORITHMS[(coll, a)].family for a in algorithms_for(coll)}
+            assert "bine" in families, coll
+            assert families - {"bine"}, coll  # at least one baseline
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError):
+            build("allreduce", "does-not-exist", 8, 8)
+
+    def test_descriptions_present(self):
+        for spec in ALGORITHMS.values():
+            assert spec.description
+
+
+@pytest.mark.parametrize("key", ALL_KEYS, ids=lambda k: f"{k[0]}-{k[1]}")
+class TestEveryAlgorithmRuns:
+    def test_p8(self, key):
+        run_and_check(build(*key, 8, 32))
+
+    def test_p16_nonzero_root(self, key):
+        spec = ALGORITHMS[key]
+        root = 3 if key[0] in ("bcast", "reduce", "gather", "scatter") else 0
+        run_and_check(build(*key, 16, 64, root=root))
+
+
+class TestMetaConsistency:
+    @pytest.mark.parametrize("key", ALL_KEYS, ids=lambda k: f"{k[0]}-{k[1]}")
+    def test_meta_fields(self, key):
+        sched = build(*key, 8, 32)
+        assert sched.meta["collective"] == key[0]
+        assert sched.meta["p"] == 8
+        assert sched.meta["n"] == 32
+
+    @pytest.mark.parametrize("key", ALL_KEYS, ids=lambda k: f"{k[0]}-{k[1]}")
+    def test_schedule_validates(self, key):
+        build(*key, 16, 32).validate()
+
+
+@given(
+    p_exp=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=999),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_bine_allreduce_any_size(p_exp, seed):
+    """Bine allreduce is correct for every power-of-two p and random data."""
+    p = 1 << p_exp
+    run_and_check(build("allreduce", "bine-rsag", p, 4 * p), seed=seed)
+
+
+@given(
+    p_exp=st.integers(min_value=1, max_value=5),
+    mult=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_bine_gather_scatter_roundtrip(p_exp, mult):
+    """Gather then scatter over the same Bine tree are mutual inverses in
+    terms of data placement (both verified independently)."""
+    p = 1 << p_exp
+    n = mult * p + (mult % 3)
+    run_and_check(build("gather", "bine", p, n))
+    run_and_check(build("scatter", "bine", p, n))
+
+
+@given(root=st.integers(min_value=0, max_value=31))
+@settings(max_examples=16, deadline=None)
+def test_property_bcast_any_root(root):
+    run_and_check(build("bcast", "bine", 32, 48, root=root))

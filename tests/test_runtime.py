@@ -1,0 +1,212 @@
+"""Tests for the schedule IR and executor (the MPI-substitute substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    BufferMismatchError,
+    LocalCopy,
+    RankBuffers,
+    Schedule,
+    ScheduleError,
+    Step,
+    Transfer,
+    execute,
+    named_op,
+)
+from repro.runtime.buffers import gather_segments, scatter_segments
+
+
+def make_buffers(p, n, fill_rank_id=True):
+    bufs = RankBuffers(p)
+    bufs.allocate("vec", n, dtype=np.int64)
+    if fill_rank_id:
+        for r in range(p):
+            bufs.set(r, "vec", np.full(n, r, dtype=np.int64))
+    return bufs
+
+
+class TestTransferValidation:
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(BufferMismatchError):
+            Transfer(0, 1, "vec", "vec", ((0, 4),), ((0, 3),))
+
+    def test_self_send_rejected(self):
+        with pytest.raises(ScheduleError):
+            Transfer(2, 2, "vec", "vec", ((0, 4),), ((0, 4),))
+
+    def test_negative_segment_rejected(self):
+        with pytest.raises(ScheduleError):
+            Transfer(0, 1, "vec", "vec", ((4, 2),), ((4, 2),))
+
+    def test_num_segments(self):
+        t = Transfer(0, 1, "vec", "vec", ((0, 2), (4, 6)), ((0, 4),))
+        assert t.num_segments == 2
+        assert t.nelems == 4
+
+
+class TestStepValidation:
+    def test_overlapping_overwrites_rejected(self):
+        step = Step(
+            transfers=(
+                Transfer(0, 2, "vec", "vec", ((0, 4),), ((0, 4),)),
+                Transfer(1, 2, "vec", "vec", ((0, 4),), ((2, 6),)),
+            )
+        )
+        with pytest.raises(ScheduleError):
+            step.validate(3)
+
+    def test_overlapping_reduces_allowed(self):
+        step = Step(
+            transfers=(
+                Transfer(0, 2, "vec", "vec", ((0, 4),), ((0, 4),), op="sum"),
+                Transfer(1, 2, "vec", "vec", ((0, 4),), ((0, 4),), op="sum"),
+            )
+        )
+        step.validate(3)  # no raise
+
+    def test_out_of_range_rank_rejected(self):
+        step = Step(transfers=(Transfer(0, 5, "vec", "vec", ((0, 1),), ((0, 1),)),))
+        with pytest.raises(ScheduleError):
+            step.validate(2)
+
+
+class TestExecutorSemantics:
+    def test_simple_copy(self):
+        bufs = make_buffers(2, 4)
+        sched = Schedule(2, meta={})
+        sched.add(Step(transfers=(Transfer(0, 1, "vec", "vec", ((0, 4),), ((0, 4),)),)))
+        execute(sched, bufs)
+        assert (bufs.get(1, "vec") == 0).all()
+
+    def test_concurrent_swap_uses_pre_state(self):
+        """Pairwise sendrecv: both sides must read pre-step values."""
+        bufs = make_buffers(2, 4)
+        sched = Schedule(2, meta={})
+        sched.add(
+            Step(
+                transfers=(
+                    Transfer(0, 1, "vec", "vec", ((0, 4),), ((0, 4),)),
+                    Transfer(1, 0, "vec", "vec", ((0, 4),), ((0, 4),)),
+                )
+            )
+        )
+        execute(sched, bufs)
+        assert (bufs.get(0, "vec") == 1).all()
+        assert (bufs.get(1, "vec") == 0).all()
+
+    def test_reduce_op_applied(self):
+        bufs = make_buffers(2, 4)
+        sched = Schedule(2, meta={})
+        sched.add(
+            Step(transfers=(Transfer(0, 1, "vec", "vec", ((0, 4),), ((0, 4),), op="sum"),))
+        )
+        execute(sched, bufs)
+        assert (bufs.get(1, "vec") == 1).all()  # 1 + 0
+
+    def test_multi_segment_pack_unpack(self):
+        bufs = RankBuffers(2)
+        bufs.allocate("vec", 6, dtype=np.int64)
+        bufs.set(0, "vec", np.arange(6, dtype=np.int64))
+        sched = Schedule(2, meta={})
+        sched.add(
+            Step(
+                transfers=(
+                    Transfer(0, 1, "vec", "vec", ((0, 2), (4, 6)), ((2, 6),)),
+                )
+            )
+        )
+        execute(sched, bufs)
+        assert bufs.get(1, "vec").tolist() == [0, 0, 0, 1, 4, 5]
+
+    def test_local_copy_pre_and_post(self):
+        bufs = RankBuffers(1)
+        bufs.allocate("vec", 4, dtype=np.int64)
+        bufs.allocate("tmp", 4, dtype=np.int64)
+        bufs.set(0, "vec", np.array([1, 2, 3, 4], dtype=np.int64))
+        sched = Schedule(1, meta={})
+        sched.add(
+            Step(
+                pre=(LocalCopy(0, "vec", "tmp", ((0, 4),), ((0, 4),)),),
+                post=(LocalCopy(0, "tmp", "vec", ((0, 2),), ((2, 4),)),),
+            )
+        )
+        execute(sched, bufs)
+        assert bufs.get(0, "vec").tolist() == [1, 2, 1, 2]
+        assert bufs.get(0, "tmp").tolist() == [1, 2, 3, 4]
+
+    def test_trace_accounting(self):
+        bufs = make_buffers(2, 4)
+        sched = Schedule(2, meta={})
+        sched.add(Step(transfers=(Transfer(0, 1, "vec", "vec", ((0, 4),), ((0, 4),)),)))
+        sched.add(Step(transfers=(Transfer(1, 0, "vec", "vec", ((0, 2),), ((0, 2),)),)))
+        trace = execute(sched, bufs)
+        assert trace.steps_run == 2
+        assert trace.transfers_run == 2
+        assert trace.elems_moved == 6
+        assert trace.per_step_elems == [4, 2]
+
+    def test_p_mismatch_rejected(self):
+        bufs = make_buffers(2, 4)
+        sched = Schedule(3, meta={})
+        with pytest.raises(ValueError):
+            execute(sched, bufs)
+
+    def test_segment_beyond_buffer_rejected(self):
+        bufs = make_buffers(2, 4)
+        sched = Schedule(2, meta={})
+        sched.add(Step(transfers=(Transfer(0, 1, "vec", "vec", ((0, 8),), ((0, 8),)),)))
+        with pytest.raises(BufferMismatchError):
+            execute(sched, bufs)
+
+
+class TestReduceOps:
+    @pytest.mark.parametrize(
+        "name,a,b,expect",
+        [
+            ("sum", 5, 3, 8),
+            ("prod", 5, 3, 15),
+            ("max", 5, 3, 5),
+            ("min", 5, 3, 3),
+            ("band", 0b110, 0b011, 0b010),
+            ("bor", 0b110, 0b011, 0b111),
+            ("bxor", 0b110, 0b011, 0b101),
+        ],
+    )
+    def test_builtin_ops(self, name, a, b, expect):
+        op = named_op(name)
+        out = op(np.array([a]), np.array([b]))
+        assert out[0] == expect
+
+    def test_unknown_op(self):
+        with pytest.raises(KeyError):
+            named_op("avg")
+
+
+class TestBufferHelpers:
+    def test_gather_segments(self):
+        buf = np.arange(10)
+        out = gather_segments(buf, [(0, 3), (7, 10)])
+        assert out.tolist() == [0, 1, 2, 7, 8, 9]
+
+    def test_scatter_segments_reduce(self):
+        buf = np.zeros(6, dtype=np.int64)
+        scatter_segments(buf, [(0, 3)], np.array([1, 2, 3]), named_op("sum"))
+        scatter_segments(buf, [(0, 3)], np.array([1, 2, 3]), named_op("sum"))
+        assert buf.tolist() == [2, 4, 6, 0, 0, 0]
+
+    def test_scatter_length_mismatch(self):
+        buf = np.zeros(6, dtype=np.int64)
+        with pytest.raises(BufferMismatchError):
+            scatter_segments(buf, [(0, 2)], np.array([1, 2, 3]))
+
+    def test_missing_buffer_error(self):
+        bufs = RankBuffers(2)
+        with pytest.raises(BufferMismatchError):
+            bufs.get(0, "nope")
+
+    def test_snapshot_is_deep(self):
+        bufs = make_buffers(2, 4)
+        snap = bufs.snapshot()
+        bufs.get(0, "vec")[:] = 99
+        assert (snap.get(0, "vec") == 0).all()

@@ -1,0 +1,117 @@
+"""Tests for system presets and the verification oracle itself."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.registry import build
+from repro.collectives.verify import check, expected_state, init_buffers
+from repro.runtime import execute
+from repro.systems import ALL_SYSTEMS, fugaku, leonardo, lumi, marenostrum5, system_for
+from repro.topology.base import LinkClass
+
+
+class TestSystemPresets:
+    @pytest.mark.parametrize("name", sorted(ALL_SYSTEMS))
+    def test_builds(self, name):
+        preset = system_for(name)
+        topo = preset.build_topology()
+        assert topo.num_nodes > 0
+        assert preset.params.alpha > 0
+        assert len(preset.vector_bytes) == 9  # the paper's 32 B … 512 MiB grid
+
+    def test_unknown_system(self):
+        with pytest.raises(KeyError):
+            system_for("summit")
+
+    def test_paper_shapes(self):
+        assert lumi().build_topology().num_groups == 24
+        assert leonardo().build_topology().num_groups == 23
+        mn5 = marenostrum5().build_topology()
+        assert mn5.nodes_per_subtree == 160
+        assert mn5.uplinks_per_subtree == 80  # 2:1 oversubscription
+
+    def test_global_slower_than_local(self):
+        for name in ("lumi", "leonardo", "marenostrum5"):
+            params = system_for(name).params
+            assert params.beta[LinkClass.GLOBAL] > params.beta[LinkClass.LOCAL]
+
+    def test_fugaku_ports(self):
+        preset = fugaku((4, 4, 4))
+        assert preset.params.ports == 6
+        assert preset.build_topology().num_nodes == 64
+
+    def test_vector_grid_matches_paper(self):
+        # 32 B to 512 MiB in factors of 8
+        grid = lumi().vector_bytes
+        assert grid[0] == 32
+        assert grid[-1] == 512 * 1024 * 1024
+
+
+class TestVerifyOracle:
+    """The oracle must catch wrong results, not just bless right ones."""
+
+    def test_detects_corrupted_bcast(self):
+        sched = build("bcast", "bine", 8, 16)
+        bufs = init_buffers(sched)
+        execute(sched, bufs)
+        bufs.get(3, "vec")[5] += 1  # inject a fault
+        with pytest.raises(AssertionError):
+            check(sched, bufs)
+
+    def test_detects_missing_reduction(self):
+        sched = build("allreduce", "bine-rsag", 8, 16)
+        bufs = init_buffers(sched)
+        # run only half the schedule: result must be wrong
+        import copy
+
+        half = copy.copy(sched)
+        half.steps = sched.steps[: len(sched.steps) // 2]
+        execute(half, bufs)
+        with pytest.raises(AssertionError):
+            check(sched, bufs)
+
+    def test_detects_swapped_alltoall_blocks(self):
+        sched = build("alltoall", "pairwise", 4, 8)
+        bufs = init_buffers(sched)
+        execute(sched, bufs)
+        recv = bufs.get(0, "recv")
+        recv[[0, 2]] = recv[[2, 0]]
+        with pytest.raises(AssertionError):
+            check(sched, bufs)
+
+    def test_expected_state_shapes(self):
+        sched = build("gather", "bine", 8, 24, root=2)
+        states = expected_state(sched)
+        assert len(states) == 1  # only the root is constrained
+        rank, buf, (lo, hi), want = states[0]
+        assert rank == 2 and buf == "vec" and (lo, hi) == (0, 24)
+        assert want.shape == (24,)
+
+    def test_seed_changes_data(self):
+        sched = build("bcast", "bine", 4, 8)
+        a = init_buffers(sched, seed=1).get(0, "vec")
+        b = init_buffers(sched, seed=2).get(0, "vec")
+        assert not np.array_equal(a, b)
+
+    def test_unknown_collective_rejected(self):
+        sched = build("bcast", "bine", 4, 8)
+        sched.meta["collective"] = "scan"
+        with pytest.raises(ValueError):
+            init_buffers(sched)
+
+
+class TestScheduleIntrospection:
+    def test_total_comm_elems(self):
+        sched = build("bcast", "bine", 8, 16)
+        # 7 tree edges × full 16-element vector
+        assert sched.total_comm_elems() == 7 * 16
+
+    def test_max_rank_send(self):
+        sched = build("gather", "linear", 8, 16)
+        assert sched.max_rank_send_elems() == 2  # one block of 2 elems each
+
+    def test_comm_bytes_per_step(self):
+        sched = build("bcast", "binomial-dd", 8, 16)
+        step_bytes = [s.comm_bytes(4) for s in sched.steps]
+        # doubling tree: 1, 2, 4 transfers of the full vector
+        assert step_bytes == [64, 128, 256]

@@ -1,0 +1,176 @@
+"""Tests for topology models, routing, and rank mappings."""
+
+import pytest
+
+from repro.topology import (
+    AllocationSampler,
+    Dragonfly,
+    DragonflyPlus,
+    FatTree,
+    LinkClass,
+    MultiRankNodes,
+    SystemShape,
+    Torus,
+    allocation_mapping,
+    block_mapping,
+    hostname_sorted,
+)
+
+
+class TestFatTree:
+    def test_groups(self):
+        ft = FatTree(4, 2, 2.0)
+        assert ft.num_nodes == 8
+        assert [ft.group_of(i) for i in range(8)] == [0, 0, 1, 1, 2, 2, 3, 3]
+        assert ft.num_groups == 4
+
+    def test_intra_subtree_route_local(self):
+        ft = FatTree(4, 2, 2.0)
+        route = ft.route(0, 1)
+        assert len(route) == 1 and route[0].cls == LinkClass.LOCAL
+
+    def test_inter_subtree_route_global(self):
+        ft = FatTree(4, 2, 2.0)
+        route = ft.route(0, 7)
+        assert [l.cls for l in route] == [LinkClass.GLOBAL, LinkClass.GLOBAL]
+
+    def test_uplink_width_matches_oversubscription(self):
+        ft = FatTree(12, 160, 2.0)
+        assert ft.uplinks_per_subtree == 80
+        up = ft.route(0, 200)[0]
+        assert up.width == 80
+
+    def test_self_route_empty(self):
+        assert FatTree(2, 2).route(1, 1) == []
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            FatTree(0, 4)
+        with pytest.raises(ValueError):
+            FatTree(4, 4, 0.5)
+
+
+class TestDragonfly:
+    def test_group_crossing(self):
+        df = Dragonfly(4, 8)
+        assert df.crosses_groups(0, 8)
+        assert not df.crosses_groups(0, 7)
+
+    def test_global_route_one_global_hop(self):
+        df = Dragonfly(4, 8, links_per_group_pair=5)
+        route = df.route(0, 9)
+        classes = [l.cls for l in route]
+        assert classes.count(LinkClass.GLOBAL) == 1
+        glob = [l for l in route if l.cls == LinkClass.GLOBAL][0]
+        assert glob.width == 5
+
+    def test_group_pair_link_shared_both_directions(self):
+        df = Dragonfly(4, 8)
+        g1 = [l for l in df.route(0, 9) if l.cls == LinkClass.GLOBAL][0]
+        g2 = [l for l in df.route(9, 0) if l.cls == LinkClass.GLOBAL][0]
+        assert g1.key == g2.key
+
+    def test_dragonfly_plus_same_grouping(self):
+        dfp = DragonflyPlus(23, 180)
+        assert dfp.num_nodes == 23 * 180
+        assert dfp.group_of(180) == 1
+
+    def test_hops(self):
+        df = Dragonfly(4, 8)
+        local, global_ = df.hops(0, 9)
+        assert global_ == 1 and local == 2
+
+
+class TestTorus:
+    def test_coords_roundtrip(self):
+        t = Torus((4, 3, 2))
+        for node in range(t.num_nodes):
+            assert t.node_at(t.coords(node)) == node
+
+    def test_minimal_routing_wraps(self):
+        t = Torus((8,))
+        # 0 -> 6 should go backwards (2 hops), not forwards (6 hops)
+        assert len(t.route(0, 6)) == 2
+
+    def test_route_length_equals_distance(self):
+        t = Torus((4, 4))
+        for a in range(16):
+            for b in range(16):
+                assert len(t.route(a, b)) == t.torus_distance(a, b)
+
+    def test_links_single_dimension_per_hop(self):
+        t = Torus((4, 4))
+        for link in t.route(0, 15):
+            assert link.cls == LinkClass.TORUS
+
+    def test_fig16_distance_example(self):
+        # Fig. 16: ranks 0 and 15 on a 4x4 torus are 2 hops apart even though
+        # their modulo distance is 1.
+        t = Torus((4, 4))
+        assert t.torus_distance(0, 15) == 2
+
+
+class TestMultiRankNodes:
+    def test_same_node_intra(self):
+        topo = MultiRankNodes(Dragonfly(2, 4), ppn=4)
+        route = topo.route(0, 3)
+        assert [l.cls for l in route] == [LinkClass.INTRA]
+
+    def test_cross_node_uses_inner(self):
+        topo = MultiRankNodes(Dragonfly(2, 4), ppn=4)
+        route = topo.route(0, 4)  # ranks on nodes 0 and 1, same group
+        assert all(l.cls != LinkClass.INTRA for l in route)
+
+    def test_group_of_rank(self):
+        topo = MultiRankNodes(Dragonfly(2, 4), ppn=2)
+        assert topo.group_of(0) == 0
+        assert topo.group_of(9) == 1
+
+
+class TestMappings:
+    def test_block_mapping(self):
+        m = block_mapping(8, ppn=2)
+        assert m.nodes == (0, 0, 1, 1, 2, 2, 3, 3)
+
+    def test_allocation_mapping(self):
+        m = allocation_mapping([5, 9, 2], ppn=1)
+        assert m.nodes == (5, 9, 2)
+
+    def test_hostname_sorted(self):
+        m = hostname_sorted([5, 9, 2], ppn=2)
+        assert m.nodes == (2, 2, 5, 5, 9, 9)
+
+    def test_ranks_per_group(self):
+        df = Dragonfly(2, 4)
+        m = block_mapping(8)
+        assert m.ranks_per_group(df) == {0: 4, 1: 4}
+
+
+class TestAllocationSampler:
+    def test_sample_properties(self):
+        shape = SystemShape("t", 8, 16)
+        sampler = AllocationSampler(shape, seed=0, busy_fraction=0.5)
+        for size in (4, 16, 64, 100):
+            alloc = sampler.sample(size)
+            assert alloc.num_nodes == size
+            assert len(set(alloc.nodes)) == size           # distinct nodes
+            assert list(alloc.nodes) == sorted(alloc.nodes)  # hostname order
+            assert all(0 <= n < shape.total_nodes for n in alloc.nodes)
+
+    def test_large_jobs_span_more_groups(self):
+        shape = SystemShape("t", 16, 32)
+        sampler = AllocationSampler(shape, seed=1, busy_fraction=0.5)
+        small = [sampler.sample(8).groups_spanned() for _ in range(20)]
+        large = [sampler.sample(256).groups_spanned() for _ in range(20)]
+        assert sum(large) / len(large) > sum(small) / len(small)
+
+    def test_oversized_job_rejected(self):
+        shape = SystemShape("t", 2, 4)
+        with pytest.raises(ValueError):
+            AllocationSampler(shape).sample(9)
+
+    def test_deterministic_given_seed(self):
+        shape = SystemShape("t", 8, 16)
+        a = AllocationSampler(shape, seed=5).sample(32)
+        b = AllocationSampler(shape, seed=5).sample(32)
+        assert a.nodes == b.nodes

@@ -1,0 +1,100 @@
+"""End-to-end correctness of tree collectives across all tree families."""
+
+import pytest
+
+from repro.collectives.tree_collectives import (
+    bcast_from_tree,
+    gather_from_tree,
+    reduce_from_tree,
+    scatter_from_tree,
+)
+from repro.collectives.verify import run_and_check
+from repro.core.bine_tree import (
+    bine_tree_distance_doubling,
+    bine_tree_distance_halving,
+)
+from repro.core.binomial_tree import (
+    binomial_tree_distance_doubling,
+    binomial_tree_distance_halving,
+)
+
+TREES = {
+    "bine-dh": bine_tree_distance_halving,
+    "bine-dd": bine_tree_distance_doubling,
+    "binomial-dd": binomial_tree_distance_doubling,
+    "binomial-dh": binomial_tree_distance_halving,
+}
+GATHER_TREES = {k: TREES[k] for k in ("bine-dh", "binomial-dh")}
+
+
+@pytest.mark.parametrize("kind", sorted(TREES))
+@pytest.mark.parametrize("p", [2, 4, 8, 16, 32])
+@pytest.mark.parametrize("root", [0, 1])
+class TestBcastReduce:
+    def test_bcast(self, kind, p, root):
+        run_and_check(bcast_from_tree(TREES[kind](p, root % p), 23))
+
+    def test_reduce(self, kind, p, root):
+        run_and_check(reduce_from_tree(TREES[kind](p, root % p), 23))
+
+
+@pytest.mark.parametrize("kind", sorted(GATHER_TREES))
+@pytest.mark.parametrize("p", [2, 4, 8, 16, 32])
+@pytest.mark.parametrize("root", [0, 3])
+class TestGatherScatter:
+    def test_gather(self, kind, p, root):
+        run_and_check(gather_from_tree(GATHER_TREES[kind](p, root % p), 37))
+
+    def test_scatter(self, kind, p, root):
+        run_and_check(scatter_from_tree(GATHER_TREES[kind](p, root % p), 37))
+
+
+class TestOps:
+    @pytest.mark.parametrize("op", ["sum", "max", "min", "prod", "bxor"])
+    def test_reduce_ops(self, op):
+        tree = bine_tree_distance_halving(8)
+        sched = reduce_from_tree(tree, 16, op)
+        run_and_check(sched)
+
+
+class TestShapes:
+    def test_bcast_step_count_logarithmic(self):
+        sched = bcast_from_tree(bine_tree_distance_halving(64), 10)
+        assert sched.num_steps == 6
+
+    def test_gather_total_volume(self):
+        # Gather moves each block once per tree level it ascends; the root
+        # receives exactly n elements' worth of distinct blocks overall.
+        p, n = 16, 32
+        sched = gather_from_tree(bine_tree_distance_halving(p), n)
+        # every rank except the root sends exactly once
+        sends = {t.src for _, t in sched.all_transfers()}
+        assert len(sends) == p - 1
+
+    def test_gather_segments_at_most_two(self):
+        # circular subtree ranges linearise to ≤ 2 wire segments (Sec. 4.3.1)
+        for p in (8, 16, 32, 64):
+            sched = gather_from_tree(bine_tree_distance_halving(p), 4 * p)
+            assert max(t.num_segments for _, t in sched.all_transfers()) <= 2
+
+    def test_binomial_dd_gather_rejected(self):
+        # distance-doubling binomial subtrees are not contiguous ranges; the
+        # library refuses rather than silently building a wrong gather
+        with pytest.raises(ValueError):
+            gather_from_tree(binomial_tree_distance_doubling(8), 16)
+
+    def test_bcast_traffic_ordering_fig1(self):
+        """Fig. 1 on the 8-node fat tree: dd = 6n, dh = 3n, bine ≤ dh."""
+        from repro.model.traffic import global_traffic_elems
+        from repro.topology.fattree import FatTree
+
+        ft = FatTree(4, 2, 2.0)
+        groups = [ft.group_of(i) for i in range(8)]
+        n = 16
+        dd = global_traffic_elems(
+            bcast_from_tree(binomial_tree_distance_doubling(8), n), groups)
+        dh = global_traffic_elems(
+            bcast_from_tree(binomial_tree_distance_halving(8), n), groups)
+        bine = global_traffic_elems(
+            bcast_from_tree(bine_tree_distance_halving(8), n), groups)
+        assert dd == 6 * n and dh == 3 * n and bine <= dh
