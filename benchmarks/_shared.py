@@ -3,6 +3,11 @@
 Sweeps are cached per system inside one pytest process so the table,
 heatmap, and boxplot benches for a system reuse the same records (as the
 paper derives Tables 3-5 and Figs. 9-11 from one measurement campaign).
+Schedule profiles additionally persist on disk under
+``benchmarks/results/.cache/`` (keyed by system, placement, seed, busy
+fraction, collective, algorithm, p and ppn), so re-running a campaign in a
+fresh process skips schedule construction and routing entirely; delete the
+directory to force a cold rebuild.
 
 Every bench writes its rendered output under ``benchmarks/results/`` *and*
 returns it, so ``pytest benchmarks/ --benchmark-only`` leaves the
@@ -18,6 +23,7 @@ from repro.analysis.sweep import ProfileCache, sweep_system
 from repro.systems import leonardo, lumi, marenostrum5
 
 RESULTS_DIR = Path(__file__).parent / "results"
+PROFILE_CACHE_DIR = RESULTS_DIR / ".cache"
 
 PAPER_SIZES = tuple(32 * 8**k for k in range(9))  # 32 B … 512 MiB
 ALL_COLLECTIVES = (
@@ -38,7 +44,7 @@ def write_result(name: str, text: str) -> str:
 def lumi_sweep():
     """LUMI campaign: 16-1024 nodes × 9 sizes × 8 collectives (Table 3)."""
     preset = lumi()
-    cache = ProfileCache(preset, placement="scheduler")
+    cache = ProfileCache(preset, placement="scheduler", disk_dir=PROFILE_CACHE_DIR)
     return tuple(
         sweep_system(
             preset,
@@ -55,7 +61,7 @@ def leonardo_sweep():
     """Leonardo campaign (Table 4): all collectives to 256 nodes; only
     allreduce/allgather at 2048 (the paper's maintenance-window restriction)."""
     preset = leonardo()
-    cache = ProfileCache(preset, placement="scheduler")
+    cache = ProfileCache(preset, placement="scheduler", disk_dir=PROFILE_CACHE_DIR)
     records = sweep_system(
         preset,
         ALL_COLLECTIVES,
@@ -83,7 +89,9 @@ def mn5_sweep():
     degenerates to local traffic).
     """
     preset = marenostrum5()
-    cache = ProfileCache(preset, placement="scheduler", busy_fraction=0.9)
+    cache = ProfileCache(
+        preset, placement="scheduler", busy_fraction=0.9, disk_dir=PROFILE_CACHE_DIR
+    )
     return tuple(
         sweep_system(
             preset,

@@ -13,22 +13,84 @@ then relies on hostname-sorted block rank order (Sec. 2.2).  Sweeps
 therefore default to a scheduler-like sampled allocation
 (``placement="scheduler"``); ``placement="block"`` gives the idealised
 group-aligned mapping (useful to expose the pure-structure upper bound).
+
+Campaign performance rests on four shared caches, all transparent to the
+numbers produced:
+
+* schedule builders run with validation off (:func:`schedule_validation`;
+  override with ``REPRO_VALIDATE=1``) — sweeps rebuild known-good schedules
+  in bulk;
+* ν-label / π permutation tables are memoized per ``p`` in the core layer;
+* one :class:`~repro.model.simulator.RouteTable` per :class:`ProfileCache`
+  shares node-pair routes across every algorithm and mapping of a campaign;
+* an optional on-disk profile cache (``disk_dir=``) persists
+  :class:`~repro.model.simulator.ScheduleProfile` objects across processes,
+  keyed by ``(system, placement, seed, busy_fraction, collective,
+  algorithm, p, ppn)``; delete the directory (or bump ``_CACHE_VERSION``)
+  to invalidate.
+
+``sweep_system(..., workers=N)`` shards the grid over ``(collective, p)``
+pairs onto a :class:`~concurrent.futures.ProcessPoolExecutor`.  Scheduler
+placements are pre-sampled in the parent in the exact first-touch order of
+the serial sweep and shipped to the workers, so parallel results are
+record-for-record identical to serial ones.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
+import re
+import tempfile
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.collectives.registry import ALGORITHMS, AlgorithmSpec
 from repro.model.analytic import ANALYTIC_PROFILES, ANALYTIC_THRESHOLD
 from repro.model.cost import CostParams
-from repro.model.simulator import ScheduleProfile, evaluate_time, profile_schedule
+from repro.model.simulator import (
+    RouteTable,
+    ScheduleProfile,
+    evaluate_time,
+    profile_schedule,
+)
+from repro.runtime.schedule import schedule_validation
 from repro.systems.presets import SystemPreset
 from repro.topology.allocation import AllocationSampler, SystemShape
 from repro.topology.mapping import RankMap, allocation_mapping, block_mapping
 
-__all__ = ["SweepRecord", "sweep_system", "ProfileCache"]
+__all__ = ["SweepRecord", "sweep_system", "ProfileCache", "clear_memo_caches"]
+
+
+def clear_memo_caches() -> None:
+    """Drop every process-level memoization the sweep pipeline relies on.
+
+    Used by cold-start benchmarks (and available to long-lived services that
+    want to bound memory): clears the per-``p`` negabinary/ν/π label tables
+    and the cross-schedule butterfly segment cache.  Per-:class:`ProfileCache`
+    state (route tables, profiles, mappings) is unaffected — drop the cache
+    object itself for that.
+    """
+    from repro.collectives import butterfly_collectives as _bc
+    from repro.collectives import common as _common
+    from repro.core import bine_tree as _bine
+    from repro.core import negabinary as _nb
+
+    _nb.rank_to_nb_table.cache_clear()
+    _bine._nu_table.cache_clear()
+    _bine._nu_inverse_table.cache_clear()
+    _common._pi_table.cache_clear()
+    _common._pi_inv_table.cache_clear()
+    _bc._SEG_CACHE.clear()
+
+#: bump to invalidate every on-disk profile cache entry
+_CACHE_VERSION = 1
+
+#: sentinel distinguishing "not on disk" from a cached ``None`` (skipped combo)
+_MISS = object()
 
 
 @dataclass(frozen=True)
@@ -55,6 +117,17 @@ class ProfileCache:
     ``placement="scheduler"`` lays each rank count over a sampled,
     hostname-sorted scheduler allocation (the paper's operating conditions);
     ``"block"`` uses the idealised node ``r // ppn`` mapping.
+
+    All profiles share one :class:`RouteTable` (node-pair routes depend only
+    on the topology), and schedule builders run with validation switched
+    off — the sweep rebuilds schedules the test suite already validates.
+
+    ``disk_dir`` enables a persistent second-level cache: profiles are
+    pickled under ``disk_dir`` keyed by ``(system, placement, seed,
+    busy_fraction, collective, algorithm, p, ppn)`` so campaigns survive
+    across processes (and parallel workers share work).  Scheduler-placement
+    mappings are still sampled in the same order on warm runs, keeping
+    warm results identical to cold ones.
     """
 
     def __init__(
@@ -63,13 +136,19 @@ class ProfileCache:
         placement: str = "scheduler",
         seed: int = 7,
         busy_fraction: float = 0.55,
+        disk_dir: str | os.PathLike | None = None,
+        mappings: dict[tuple[int, int], RankMap] | None = None,
     ):
         self.preset = preset
         self.topo = preset.build_topology()
         self.placement = placement
+        self.seed = seed
+        self.busy_fraction = busy_fraction
+        self.routes = RouteTable(self.topo)
         self._cache: dict[tuple, ScheduleProfile | None] = {}
-        self._mappings: dict[tuple[int, int], RankMap] = {}
+        self._mappings: dict[tuple[int, int], RankMap] = dict(mappings or {})
         self._sampler = None
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
         if placement == "scheduler":
             shape = _shape_of(self.topo, preset.name)
             self._sampler = AllocationSampler(
@@ -90,30 +169,103 @@ class ProfileCache:
                 self._mappings[key] = allocation_mapping(sorted(alloc.nodes), ppn=ppn)
         return self._mappings[key]
 
+    def applicable(self, spec: AlgorithmSpec, p: int, ppn: int = 1) -> bool:
+        """Cheap pre-checks that gate both building and mapping sampling."""
+        if p // ppn > self.topo.num_nodes:
+            return False
+        if spec.max_p is not None and p > spec.max_p:
+            return False
+        return True
+
     def get(self, spec: AlgorithmSpec, p: int, ppn: int = 1) -> ScheduleProfile | None:
         key = (spec.collective, spec.name, p, ppn)
         if key not in self._cache:
-            self._cache[key] = self._build(spec, p, ppn)
+            if not self.applicable(spec, p, ppn):
+                self._cache[key] = None
+                return None
+            # Sample the mapping before consulting the disk cache so the
+            # scheduler-allocation RNG advances in the same order on cold
+            # and warm runs (mappings are order-dependent draws).
+            mapping = self.mapping_for(p, ppn)
+            profile = self._disk_load(key, mapping)
+            if profile is _MISS:
+                profile = self._build(spec, p, ppn, mapping)
+                self._disk_store(key, profile, mapping)
+            self._cache[key] = profile
         return self._cache[key]
 
-    def _build(self, spec: AlgorithmSpec, p: int, ppn: int) -> ScheduleProfile | None:
-        if p // ppn > self.topo.num_nodes:
-            return None
-        if spec.max_p is not None and p > spec.max_p:
-            return None
-        mapping = self.mapping_for(p, ppn)
+    def _build(
+        self, spec: AlgorithmSpec, p: int, ppn: int, mapping: RankMap
+    ) -> ScheduleProfile | None:
         analytic = ANALYTIC_PROFILES.get((spec.collective, spec.name))
         # alltoall always uses the analytic (packed-implementation) profiles
         # so small and large rank counts are modelled consistently.
         if analytic is not None and (p > ANALYTIC_THRESHOLD or spec.collective == "alltoall"):
             if spec.pow2_only and p & (p - 1):
                 return None
-            return analytic(p, self.topo, mapping)
+            return analytic(p, self.topo, mapping, routes=self.routes)
         try:
-            schedule = spec.build(p, p)  # canonical size: one element per block
+            with schedule_validation(False):
+                schedule = spec.build(p, p)  # canonical size: one element per block
         except ValueError:
             return None  # constraint (pow2/divisibility) not met
-        return profile_schedule(schedule, self.topo, mapping)
+        return profile_schedule(schedule, self.topo, mapping, routes=self.routes)
+
+    # -- on-disk persistence ------------------------------------------------
+
+    def _disk_path(self, key: tuple, mapping: RankMap) -> Path | None:
+        if self.disk_dir is None:
+            return None
+        collective, name, p, ppn = key
+        campaign = _slug(
+            f"{self.preset.name}-{self.placement}"
+            f"-seed{self.seed}-busy{self.busy_fraction}-v{_CACHE_VERSION}"
+        )
+        # Scheduler placements are order-dependent RNG draws: a different
+        # sweep grid first-touches rank counts in a different order and gets
+        # different mappings for the same (seed, p).  Digesting the actual
+        # mapping into the filename keeps warm results identical to what the
+        # same call would produce cold, whatever campaign filled the cache.
+        digest = hashlib.sha1(repr(mapping.nodes).encode()).hexdigest()[:12]
+        return (
+            self.disk_dir
+            / campaign
+            / _slug(f"{collective}--{name}--p{p}-ppn{ppn}-m{digest}.pkl")
+        )
+
+    def _disk_load(self, key: tuple, mapping: RankMap):
+        path = self._disk_path(key, mapping)
+        if path is None or not path.exists():
+            return _MISS
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except Exception:
+            return _MISS  # corrupt / partial entry: rebuild and overwrite
+
+    def _disk_store(
+        self, key: tuple, profile: ScheduleProfile | None, mapping: RankMap
+    ) -> None:
+        path = self._disk_path(key, mapping)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # atomic publish: parallel workers may race on the same entry
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(profile, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", text)
 
 
 def _shape_of(topo, name: str) -> SystemShape:
@@ -121,6 +273,55 @@ def _shape_of(topo, name: str) -> SystemShape:
     num_groups = topo.num_groups
     nodes_per_group = topo.num_nodes // num_groups
     return SystemShape(name, num_groups, nodes_per_group)
+
+
+def _selected_specs(
+    collectives: Sequence[str], algorithms: Iterable[str] | None
+) -> list[AlgorithmSpec]:
+    """Registry entries of the sweep, in the serial iteration order."""
+    names = None if algorithms is None else set(algorithms)
+    return [
+        spec
+        for (coll, name), spec in sorted(ALGORITHMS.items())
+        if coll in collectives and (names is None or name in names)
+    ]
+
+
+def _evaluate_grid(
+    preset: SystemPreset,
+    cache: ProfileCache,
+    specs: Sequence[AlgorithmSpec],
+    node_counts: Sequence[int],
+    vector_bytes: Sequence[int],
+    params: CostParams,
+    max_p: dict[str, int] | None,
+    ppn: int,
+) -> list[SweepRecord]:
+    """The serial sweep core: profile once, evaluate at every vector size."""
+    records: list[SweepRecord] = []
+    for spec in specs:
+        for p in node_counts:
+            if max_p and p > max_p.get(spec.collective, p):
+                continue
+            profile = cache.get(spec, p, ppn)
+            if profile is None:
+                continue
+            for nb in vector_bytes:
+                n_elems = nb / params.itemsize
+                metrics = evaluate_time(profile, params, n_elems)
+                records.append(
+                    SweepRecord(
+                        system=preset.name,
+                        collective=spec.collective,
+                        algorithm=spec.name,
+                        family=spec.family,
+                        p=p,
+                        n_bytes=nb,
+                        time=metrics.time,
+                        global_bytes=metrics.global_bytes,
+                    )
+                )
+    return records
 
 
 def sweep_system(
@@ -135,43 +336,133 @@ def sweep_system(
     ppn: int = 1,
     cache: ProfileCache | None = None,
     placement: str = "scheduler",
+    workers: int | None = None,
+    disk_dir: str | os.PathLike | None = None,
 ) -> list[SweepRecord]:
     """Evaluate every applicable algorithm across the grid.
 
     ``max_p`` optionally caps the rank count per collective (the O(p²)
     alltoall builders get expensive past a few hundred ranks).
+
+    ``workers=N`` (N > 1) shards the grid over ``(collective, p)`` pairs
+    onto a process pool; results are identical to the serial sweep, in the
+    same order.  ``disk_dir`` enables the persistent profile cache (ignored
+    when an explicit ``cache`` is passed — configure it there instead).
     """
     node_counts = tuple(node_counts if node_counts is not None else preset.node_counts)
     vector_bytes = tuple(
         vector_bytes if vector_bytes is not None else preset.vector_bytes
     )
     params = params or preset.params
-    cache = cache or ProfileCache(preset, placement=placement)
-    records: list[SweepRecord] = []
-    for (coll, name), spec in sorted(ALGORITHMS.items()):
-        if coll not in collectives:
-            continue
-        if algorithms is not None and name not in algorithms:
-            continue
+    cache = cache or ProfileCache(preset, placement=placement, disk_dir=disk_dir)
+    specs = _selected_specs(collectives, algorithms)
+    if workers is not None and workers > 1:
+        return _sweep_parallel(
+            preset, cache, specs, node_counts, vector_bytes, params, max_p, ppn, workers
+        )
+    return _evaluate_grid(
+        preset, cache, specs, node_counts, vector_bytes, params, max_p, ppn
+    )
+
+
+# -- parallel campaigns ------------------------------------------------------
+
+
+def _sweep_shard(
+    topo,
+    system_name: str,
+    params: CostParams,
+    placement: str,
+    seed: int,
+    busy_fraction: float,
+    mappings: dict[tuple[int, int], RankMap],
+    disk_dir: str | None,
+    collective: str,
+    p: int,
+    vector_bytes: tuple[int, ...],
+    algorithm_names: tuple[str, ...] | None,
+    max_p: dict[str, int] | None,
+    ppn: int,
+) -> list[SweepRecord]:
+    """Worker: evaluate one ``(collective, p)`` cell of the grid.
+
+    Mappings are pre-sampled in the parent (placement draws are
+    order-dependent), so the worker never touches the allocation RNG.
+    """
+    preset = SystemPreset(
+        name=system_name,
+        topology=lambda: topo,
+        params=params,
+        node_counts=(p,),
+        vector_bytes=vector_bytes,
+    )
+    cache = ProfileCache(
+        preset,
+        placement=placement,
+        seed=seed,
+        busy_fraction=busy_fraction,
+        disk_dir=disk_dir,
+        mappings=mappings,
+    )
+    specs = _selected_specs((collective,), algorithm_names)
+    return _evaluate_grid(
+        preset, cache, specs, (p,), vector_bytes, params, max_p, ppn
+    )
+
+
+def _sweep_parallel(
+    preset: SystemPreset,
+    cache: ProfileCache,
+    specs: Sequence[AlgorithmSpec],
+    node_counts: tuple[int, ...],
+    vector_bytes: tuple[int, ...],
+    params: CostParams,
+    max_p: dict[str, int] | None,
+    ppn: int,
+    workers: int,
+) -> list[SweepRecord]:
+    """Fan ``(collective, p)`` cells over a process pool, preserving order."""
+    # Pre-sample every mapping in the exact first-touch order of the serial
+    # sweep so scheduler allocations match it draw for draw.
+    cells: list[tuple[str, int]] = []
+    for spec in specs:
         for p in node_counts:
-            if max_p and p > max_p.get(coll, p):
+            if max_p and p > max_p.get(spec.collective, p):
                 continue
-            profile = cache.get(spec, p, ppn)
-            if profile is None:
+            if not cache.applicable(spec, p, ppn):
                 continue
-            for nb in vector_bytes:
-                n_elems = nb / params.itemsize
-                metrics = evaluate_time(profile, params, n_elems)
-                records.append(
-                    SweepRecord(
-                        system=preset.name,
-                        collective=coll,
-                        algorithm=name,
-                        family=spec.family,
-                        p=p,
-                        n_bytes=nb,
-                        time=metrics.time,
-                        global_bytes=metrics.global_bytes,
-                    )
-                )
+            cache.mapping_for(p, ppn)
+            if (spec.collective, p) not in cells:
+                cells.append((spec.collective, p))
+    algorithm_names = tuple(sorted({s.name for s in specs})) if specs else None
+    disk_dir = str(cache.disk_dir) if cache.disk_dir is not None else None
+    grouped: dict[tuple[str, str, int], list[SweepRecord]] = {}
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(
+                _sweep_shard,
+                cache.topo,
+                preset.name,
+                params,
+                cache.placement,
+                cache.seed,
+                cache.busy_fraction,
+                dict(cache._mappings),
+                disk_dir,
+                coll,
+                p,
+                vector_bytes,
+                algorithm_names,
+                max_p,
+                ppn,
+            )
+            for coll, p in cells
+        ]
+        for fut in as_completed(futures):
+            for rec in fut.result():
+                grouped.setdefault((rec.collective, rec.algorithm, rec.p), []).append(rec)
+    records: list[SweepRecord] = []
+    for spec in specs:
+        for p in node_counts:
+            records.extend(grouped.get((spec.collective, spec.name, p), ()))
     return records

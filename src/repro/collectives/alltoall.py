@@ -167,7 +167,7 @@ def _build_bine(p: int, n: int, bf: Butterfly) -> Schedule:
 
     _run_slot_rounds(sched, tracker, rounds(), bs)
     tracker.finish(sched, bs)
-    return sched.validate()
+    return sched.finalize()
 
 
 def alltoall_bruck(p: int, n: int) -> Schedule:
@@ -196,7 +196,7 @@ def alltoall_bruck(p: int, n: int) -> Schedule:
 
     _run_slot_rounds(sched, tracker, rounds(), bs)
     tracker.finish(sched, bs)
-    return sched.validate()
+    return sched.finalize()
 
 
 def alltoall_pairwise(p: int, n: int) -> Schedule:
@@ -221,4 +221,4 @@ def alltoall_pairwise(p: int, n: int) -> Schedule:
 
     _run_slot_rounds(sched, tracker, rounds(), bs)
     tracker.finish(sched, bs)
-    return sched.validate()
+    return sched.finalize()

@@ -53,7 +53,7 @@ def _build(p: int, n: int, name: str, per_block: bool) -> Schedule:
                 )
             )
         sched.add(Step(transfers=tuple(transfers), label=f"{name} round {k}"))
-    return sched.validate()
+    return sched.finalize()
 
 
 def allgather_bruck(p: int, n: int) -> Schedule:

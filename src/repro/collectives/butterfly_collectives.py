@@ -89,6 +89,66 @@ def _segments_for(part: Partition, blocks: np.ndarray, strategy: Strategy):
     return tuple(part.segments(blocks.tolist()))
 
 
+#: butterfly kinds whose matching (hence responsibility sets) is a pure
+#: function of (kind, p) — safe keys for the cross-schedule segment cache.
+#: Swing shares the distance-doubling Bine sets, so the two kinds alias.
+_CACHEABLE_KINDS = {
+    "bine-doubling": "bine-doubling",
+    "swing": "bine-doubling",
+    "bine-halving": "bine-halving",
+    "recdoub": "recdoub",
+    "rechalv": "rechalv",
+}
+
+#: (kind, p, strategy/π, step, rank) → segment tuple at the canonical build
+#: size.  Reduce-scatter and allgather walk the same responsibility sets
+#: (allreduce builds both back to back, and sweep campaigns revisit the same
+#: butterflies per collective), so entries are reused several times over.
+_SEG_CACHE: dict[tuple, tuple] = {}
+
+
+def _seg_getter(bf: Butterfly, part: Partition, resp, strategy: Strategy):
+    """``segs(rank, step)`` with cross-schedule caching at canonical size."""
+    ckind = _CACHEABLE_KINDS.get(bf.kind)
+    if ckind is None or part.n != part.p:
+        return lambda rank, step: _segments_for(part, resp(rank, step), strategy)
+
+    prefix = (ckind, part.p, strategy.value)
+
+    def segs(rank: int, step: int):
+        key = prefix + (step, rank)
+        out = _SEG_CACHE.get(key)
+        if out is None:
+            out = _SEG_CACHE[key] = _segments_for(part, resp(rank, step), strategy)
+        return out
+
+    return segs
+
+
+def _pi_window_getter(bf: Butterfly, resp, pi_arr: np.ndarray, block_size: int):
+    """``window(rank, step)`` for π-space flows, cached like :func:`_seg_getter`."""
+    ckind = _CACHEABLE_KINDS.get(bf.kind)
+    p = bf.p
+
+    def compute(rank: int, step: int):
+        return _pi_window(
+            pi_arr, resp(rank, step), block_size, f"{bf.kind} rank {rank} step {step}"
+        )
+
+    if ckind is None:
+        return compute
+    prefix = (ckind, p, "pi", block_size)
+
+    def window(rank: int, step: int):
+        key = prefix + (step, rank)
+        out = _SEG_CACHE.get(key)
+        if out is None:
+            out = _SEG_CACHE[key] = compute(rank, step)
+        return out
+
+    return window
+
+
 def _pi_window(pi_arr: np.ndarray, blocks: np.ndarray, block_size: int, ctx: str):
     """Single contiguous element segment covering π(blocks), or raise."""
     positions = pi_arr[blocks]
@@ -99,30 +159,44 @@ def _pi_window(pi_arr: np.ndarray, blocks: np.ndarray, block_size: int, ctx: str
     return ((lo * block_size, hi * block_size),)
 
 
-def _permute_pack(p: int, n: int, rank: int, src: str, dst: str, tag: str) -> LocalCopy:
-    """Local copy moving natural block ``b`` to π(b) positions (Fig. 8)."""
+def _permute_segments(p: int, n: int, pi: list[int]):
+    """``(natural, permuted)`` segment tuples of the Fig. 8 block permutation.
+
+    Identical for every rank, so builders compute them once per schedule and
+    share the tuples across all ``p`` local copies.
+    """
     bs = n // p
-    pi = global_pi(p)
+    natural = tuple((b * bs, (b + 1) * bs) for b in range(p))
+    permuted = tuple((pi[b] * bs, (pi[b] + 1) * bs) for b in range(p))
+    return natural, permuted
+
+
+def _permute_pack(
+    rank: int, src: str, dst: str, tag: str, segs
+) -> LocalCopy:
+    """Local copy moving natural block ``b`` to π(b) positions (Fig. 8)."""
+    natural, permuted = segs
     return LocalCopy(
         rank=rank,
         src_buf=src,
         dst_buf=dst,
-        src_segments=tuple((b * bs, (b + 1) * bs) for b in range(p)),
-        dst_segments=tuple((pi[b] * bs, (pi[b] + 1) * bs) for b in range(p)),
+        src_segments=natural,
+        dst_segments=permuted,
         tag=tag,
     )
 
 
-def _permute_unpack(p: int, n: int, rank: int, src: str, dst: str, tag: str) -> LocalCopy:
+def _permute_unpack(
+    rank: int, src: str, dst: str, tag: str, segs
+) -> LocalCopy:
     """Inverse of :func:`_permute_pack`."""
-    bs = n // p
-    pi = global_pi(p)
+    natural, permuted = segs
     return LocalCopy(
         rank=rank,
         src_buf=src,
         dst_buf=dst,
-        src_segments=tuple((pi[b] * bs, (pi[b] + 1) * bs) for b in range(p)),
-        dst_segments=tuple((b * bs, (b + 1) * bs) for b in range(p)),
+        src_segments=permuted,
+        dst_segments=natural,
         tag=tag,
     )
 
@@ -158,11 +232,12 @@ def reduce_scatter_butterfly(
     resp = resp_backend(bf)
 
     if strategy in (Strategy.NATURAL, Strategy.BLOCKS, Strategy.TWO_TRANSMISSIONS):
+        seg_of = _seg_getter(bf, part, resp, strategy)
         for j in range(s):
             transfers = []
             for r in range(p):
                 q = bf.partner(r, j)
-                segs = _segments_for(part, resp(q, j + 1), strategy)
+                segs = seg_of(q, j + 1)
                 transfers.append(
                     Transfer(
                         src=r, dst=q, src_buf=VEC, dst_buf=VEC,
@@ -171,23 +246,25 @@ def reduce_scatter_butterfly(
                     )
                 )
             sched.add(Step(transfers=tuple(transfers), label=f"rs step {j}"))
-        return sched.validate()
+        return sched.finalize()
 
     # π-space flows (permute / send)
     bs = require_divisible(n, p, f"reduce-scatter strategy {strategy.value}")
     pi = global_pi(p)
     pi_arr = np.array(pi)
+    window = _pi_window_getter(bf, resp, pi_arr, bs)
     work = TMP if strategy is Strategy.PERMUTE else VEC
     for j in range(s):
         pre = ()
         if j == 0 and strategy is Strategy.PERMUTE:
+            segs2 = _permute_segments(p, n, pi)
             pre = tuple(
-                _permute_pack(p, n, r, VEC, TMP, "rs permute-in") for r in range(p)
+                _permute_pack(r, VEC, TMP, "rs permute-in", segs2) for r in range(p)
             )
         transfers = []
         for r in range(p):
             q = bf.partner(r, j)
-            segs = _pi_window(pi_arr, resp(q, j + 1), bs, f"{bf.kind} rank {r} step {j}")
+            segs = window(q, j + 1)
             transfers.append(
                 Transfer(
                     src=r, dst=q, src_buf=work, dst_buf=work,
@@ -221,7 +298,7 @@ def reduce_scatter_butterfly(
             if pi[r] != r
         )
         sched.add(Step(transfers=transfers, label="rs send fixup"))
-    return sched.validate()
+    return sched.finalize()
 
 
 def allgather_butterfly(
@@ -258,12 +335,13 @@ def allgather_butterfly(
     resp = resp_backend(bf)
 
     if strategy in (Strategy.NATURAL, Strategy.BLOCKS, Strategy.TWO_TRANSMISSIONS):
+        seg_of = _seg_getter(bf, part, resp, strategy)
         for k in range(s):
             j = s - 1 - k
             transfers = []
             for r in range(p):
                 q = bf.partner(r, j)
-                segs = _segments_for(part, resp(r, j + 1), strategy)
+                segs = seg_of(r, j + 1)
                 transfers.append(
                     Transfer(
                         src=r, dst=q, src_buf=VEC, dst_buf=VEC,
@@ -272,7 +350,7 @@ def allgather_butterfly(
                     )
                 )
             sched.add(Step(transfers=tuple(transfers), label=f"ag step {k}"))
-        return sched.validate()
+        return sched.finalize()
 
     bs = require_divisible(n, p, f"allgather strategy {strategy.value}")
     pi = global_pi(p)
@@ -304,12 +382,13 @@ def allgather_butterfly(
         )
         sched.add(Step(transfers=transfers, label="ag send reorder"))
 
+    window = _pi_window_getter(bf, resp, pi_arr, bs)
     for k in range(s):
         j = s - 1 - k
         transfers = []
         for r in range(p):
             q = bf.partner(r, j)
-            segs = _pi_window(pi_arr, resp(r, j + 1), bs, f"{bf.kind} rank {r} step {j}")
+            segs = window(r, j + 1)
             transfers.append(
                 Transfer(
                     src=r, dst=q, src_buf=work, dst_buf=work,
@@ -319,14 +398,15 @@ def allgather_butterfly(
             )
         post = ()
         if k == s - 1 and strategy is Strategy.PERMUTE:
+            segs2 = _permute_segments(p, n, pi)
             post = tuple(
-                _permute_unpack(p, n, r, TMP, VEC, "ag permute-out") for r in range(p)
+                _permute_unpack(r, TMP, VEC, "ag permute-out", segs2) for r in range(p)
             )
         sched.add(Step(transfers=tuple(transfers), post=post, label=f"ag step {k}"))
     if strategy is Strategy.SEND:
         # π-space content is natural blocks at natural positions already.
         pass
-    return sched.validate()
+    return sched.finalize()
 
 
 def allreduce_recursive(bf: Butterfly, n: int, op: str = "sum") -> Schedule:
@@ -356,7 +436,7 @@ def allreduce_recursive(bf: Butterfly, n: int, op: str = "sum") -> Schedule:
             for r in range(p)
         )
         sched.add(Step(transfers=transfers, label=f"allreduce step {j}"))
-    return sched.validate()
+    return sched.finalize()
 
 
 def allreduce_reduce_scatter_allgather(
@@ -402,4 +482,4 @@ def allreduce_reduce_scatter_allgather(
         sched.steps = rs_steps + ag_steps
     else:
         sched.steps = list(rs.steps) + list(ag.steps)
-    return sched.validate()
+    return sched.finalize()

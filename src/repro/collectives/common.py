@@ -16,6 +16,7 @@ Conventions used across the package:
 from __future__ import annotations
 
 from enum import Enum
+from functools import lru_cache
 
 from repro.core.blocks import Partition
 from repro.core.bine_tree import nu_labels
@@ -57,19 +58,29 @@ class Strategy(str, Enum):
     NATURAL = "natural"
 
 
+@lru_cache(maxsize=None)
+def _pi_table(p: int) -> tuple[int, ...]:
+    """Memoized π table — builders look π up per transfer, so cache per p."""
+    s = log2_exact(p)
+    return tuple(bit_reverse(nu, s) for nu in nu_labels(p))
+
+
+@lru_cache(maxsize=None)
+def _pi_inv_table(p: int) -> tuple[int, ...]:
+    inv = [0] * p
+    for b, pos in enumerate(_pi_table(p)):
+        inv[pos] = b
+    return tuple(inv)
+
+
 def global_pi(p: int) -> list[int]:
     """π(b) = reverse(ν(b)): position of block ``b`` in the permuted layout."""
-    s = log2_exact(p)
-    return [bit_reverse(nu, s) for nu in nu_labels(p)]
+    return list(_pi_table(p))
 
 
 def global_pi_inv(p: int) -> list[int]:
     """Block stored at each position: ``inv[π(b)] = b``."""
-    pi = global_pi(p)
-    inv = [0] * p
-    for b, pos in enumerate(pi):
-        inv[pos] = b
-    return inv
+    return list(_pi_inv_table(p))
 
 
 def block_segments(part: Partition, blocks) -> tuple[Segment, ...]:

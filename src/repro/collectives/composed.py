@@ -57,7 +57,7 @@ def _concat(meta: dict, *parts: Schedule) -> Schedule:
     sched = Schedule(p, meta=meta)
     for part in parts:
         sched.steps.extend(part.steps)
-    return sched.validate()
+    return sched.finalize()
 
 
 def bcast_scatter_allgather_binomial(p: int, n: int, root: int = 0) -> Schedule:
@@ -107,7 +107,7 @@ def _pi_tree_scatter(tree: Tree, n: int) -> Schedule:
                 )
             )
         sched.add(Step(transfers=tuple(transfers), label=f"pi scatter {step_idx}"))
-    return sched.validate()
+    return sched.finalize()
 
 
 def bcast_scatter_allgather_bine(p: int, n: int, root: int = 0) -> Schedule:
@@ -167,7 +167,7 @@ def _pi_tree_gather(tree: Tree, n: int) -> Schedule:
                 )
             )
         sched.add(Step(transfers=tuple(transfers), label=f"pi gather {step_idx}"))
-    return sched.validate()
+    return sched.finalize()
 
 
 def reduce_rsag_bine(p: int, n: int, root: int = 0, op: str = "sum") -> Schedule:
@@ -258,7 +258,7 @@ def _merge_parallel(p: int, meta: dict, schedules: list[Schedule]) -> Schedule:
                 post.extend(st.post)
                 label = label or st.label
         out.add(Step(transfers=tuple(transfers), pre=tuple(pre), post=tuple(post), label=label))
-    return out.validate()
+    return out.finalize()
 
 
 def hierarchical_allreduce_bine(
@@ -342,4 +342,4 @@ def hierarchical_allreduce_bine(
                     )
                 )
     sched.add(Step(transfers=tuple(transfers), label="intra-node allgather"))
-    return sched.validate()
+    return sched.finalize()

@@ -29,12 +29,26 @@ __all__ = ["resp_backend", "sorted_runs"]
 
 def sorted_runs(arr: np.ndarray) -> list[tuple[int, int]]:
     """Maximal runs of consecutive values in a sorted int array."""
-    if arr.size == 0:
+    n = arr.size
+    if n == 0:
         return []
-    breaks = np.nonzero(np.diff(arr) != 1)[0]
+    if n <= 128:
+        # small arrays: a plain scan beats the fixed cost of the array ops
+        vals = arr.tolist()
+        out = []
+        lo = prev = vals[0]
+        for v in vals[1:]:
+            if v != prev + 1:
+                out.append((lo, prev + 1))
+                lo = v
+            prev = v
+        out.append((lo, prev + 1))
+        return out
+    breaks = np.nonzero(arr[1:] != arr[:-1] + 1)[0]
     starts = np.concatenate(([0], breaks + 1))
     ends = np.concatenate((breaks, [arr.size - 1]))
-    return [(int(arr[s]), int(arr[e]) + 1) for s, e in zip(starts, ends)]
+    # bulk .tolist() yields Python ints far faster than per-element int()
+    return list(zip(arr[starts].tolist(), (arr[ends] + 1).tolist()))
 
 
 def _bine_dd_backend(bf: Butterfly):

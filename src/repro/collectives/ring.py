@@ -52,7 +52,7 @@ def ring_reduce_scatter(p: int, n: int, op: str = "sum") -> Schedule:
                 )
             )
         sched.add(Step(transfers=tuple(transfers), label=f"ring rs step {k}"))
-    return sched.validate()
+    return sched.finalize()
 
 
 def ring_allgather(p: int, n: int) -> Schedule:
@@ -75,7 +75,7 @@ def ring_allgather(p: int, n: int) -> Schedule:
                 )
             )
         sched.add(Step(transfers=tuple(transfers), label=f"ring ag step {k}"))
-    return sched.validate()
+    return sched.finalize()
 
 
 def ring_allreduce(p: int, n: int, op: str = "sum") -> Schedule:
@@ -91,7 +91,7 @@ def ring_allreduce(p: int, n: int, op: str = "sum") -> Schedule:
         },
     )
     sched.steps = list(rs.steps) + list(ag.steps)
-    return sched.validate()
+    return sched.finalize()
 
 
 def linear_gather(p: int, n: int, root: int = 0) -> Schedule:
@@ -110,7 +110,7 @@ def linear_gather(p: int, n: int, root: int = 0) -> Schedule:
         p, meta={"collective": "gather", "algorithm": "linear", "p": p, "n": n, "root": root}
     )
     sched.add(Step(transfers=transfers, label="linear gather"))
-    return sched.validate()
+    return sched.finalize()
 
 
 def linear_scatter(p: int, n: int, root: int = 0) -> Schedule:
@@ -129,4 +129,4 @@ def linear_scatter(p: int, n: int, root: int = 0) -> Schedule:
         p, meta={"collective": "scatter", "algorithm": "linear", "p": p, "n": n, "root": root}
     )
     sched.add(Step(transfers=transfers, label="linear scatter"))
-    return sched.validate()
+    return sched.finalize()

@@ -145,7 +145,7 @@ def torus_bine_allreduce_multiport(
                 post.extend(s.steps[i].post)
         merged.add(Step(transfers=tuple(transfers), pre=tuple(pre), post=tuple(post),
                         label=f"multiport step {i}"))
-    return merged.validate()
+    return merged.finalize()
 
 
 def _butterfly_for_plan(shape: TorusShape, plan):
@@ -223,7 +223,7 @@ def bucket_reduce_scatter(shape: TorusShape, n: int, op: str = "sum") -> Schedul
                 remap_schedule(ring_reduce_scatter(d, hi - lo, op), line, lo)
             )
         _merge_into(sched, subs)
-    return sched.validate()
+    return sched.finalize()
 
 
 def bucket_allgather(shape: TorusShape, n: int) -> Schedule:
@@ -244,7 +244,7 @@ def bucket_allgather(shape: TorusShape, n: int) -> Schedule:
             lo, hi = _nested_bounds(shape, line[0], n, dim)
             subs.append(remap_schedule(ring_allgather(d, hi - lo), line, lo))
         _merge_into(sched, subs)
-    return sched.validate()
+    return sched.finalize()
 
 
 def bucket_allreduce(shape: TorusShape, n: int, op: str = "sum") -> Schedule:
@@ -258,7 +258,7 @@ def bucket_allreduce(shape: TorusShape, n: int, op: str = "sum") -> Schedule:
               "ports_used": 2},
     )
     sched.steps = list(rs.steps) + list(ag.steps)
-    return sched.validate()
+    return sched.finalize()
 
 
 def _merge_into(sched: Schedule, subs: list[Schedule]) -> None:
@@ -333,7 +333,7 @@ def trinaryx_bcast(shape: TorusShape, n: int, root: int = 0) -> Schedule:
                 )
             )
         sched.add(Step(transfers=tuple(transfers), label=f"chain hop {i}"))
-    return sched.validate()
+    return sched.finalize()
 
 
 def trinaryx_reduce(shape: TorusShape, n: int, root: int = 0, op: str = "sum") -> Schedule:
@@ -352,4 +352,4 @@ def trinaryx_reduce(shape: TorusShape, n: int, root: int = 0, op: str = "sum") -
             for t in step.transfers
         )
         sched.add(Step(transfers=transfers, label=step.label))
-    return sched.validate()
+    return sched.finalize()

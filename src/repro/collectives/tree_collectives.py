@@ -71,7 +71,7 @@ def bcast_from_tree(tree: TreeLike, n: int) -> Schedule:
             for (u, v) in tree.edges[step_idx]
         )
         sched.add(Step(transfers=transfers, label=f"bcast step {step_idx}"))
-    return sched.validate()
+    return sched.finalize()
 
 
 def reduce_from_tree(tree: TreeLike, n: int, op: str = "sum") -> Schedule:
@@ -97,7 +97,7 @@ def reduce_from_tree(tree: TreeLike, n: int, op: str = "sum") -> Schedule:
             for (u, v) in tree.edges[step_idx]
         )
         sched.add(Step(transfers=transfers, label=f"reduce step {step_idx}"))
-    return sched.validate()
+    return sched.finalize()
 
 
 def _subtree_segments(tree: TreeLike, rank: int, part: Partition):
@@ -132,7 +132,7 @@ def gather_from_tree(tree: TreeLike, n: int) -> Schedule:
                 )
             )
         sched.add(Step(transfers=tuple(transfers), label=f"gather step {step_idx}"))
-    return sched.validate()
+    return sched.finalize()
 
 
 def scatter_from_tree(tree: TreeLike, n: int) -> Schedule:
@@ -160,4 +160,4 @@ def scatter_from_tree(tree: TreeLike, n: int) -> Schedule:
                 )
             )
         sched.add(Step(transfers=tuple(transfers), label=f"scatter step {step_idx}"))
-    return sched.validate()
+    return sched.finalize()

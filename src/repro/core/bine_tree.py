@@ -21,10 +21,13 @@ that variant is exposed via ``mirror=True`` and used by
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.core.negabinary import (
     nb_to_rank,
     ones_mask,
     rank_to_nb,
+    rank_to_nb_table,
     trailing_equal_bits,
 )
 from repro.core.tree import Tree, build_tree, log2_exact
@@ -87,37 +90,54 @@ def bine_tree_distance_halving(p: int, root: int = 0) -> Tree:
 # Distance-doubling Bine trees (Sec. 3.2, Appendix A)
 # ---------------------------------------------------------------------------
 
+@lru_cache(maxsize=None)
+def _nu_table(p: int) -> tuple[int, ...]:
+    """Memoized ν labels for all ranks of ``p`` (shared by every builder)."""
+    log2_exact(p)
+    nb = rank_to_nb_table(p)
+    table = []
+    for rank in range(p):
+        if rank == 0:
+            h = 0
+        elif rank % 2 == 0:
+            h = nb[p - rank]
+        else:
+            h = nb[rank]
+        table.append(h ^ (h >> 1))
+    return tuple(table)
+
+
+@lru_cache(maxsize=None)
+def _nu_inverse_table(p: int) -> tuple[int, ...]:
+    """Memoized inverse ν table (bijection-checked once per ``p``)."""
+    inv = [-1] * p
+    for r, v in enumerate(_nu_table(p)):
+        if not 0 <= v < p or inv[v] != -1:
+            raise AssertionError(f"ν is not a bijection at p={p}: rank {r} -> {v}")
+        inv[v] = r
+    return tuple(inv)
+
+
 def nu_label(rank: int, p: int) -> int:
     """ν(r, p) from Sec. 3.2.1: Gray-style recoding of the negabinary label.
 
     ``h(r) = rank2nb(p − r)`` for even ``r`` (with ``h(0) = 0``) and
     ``rank2nb(r)`` for odd ``r``; then ``ν = h ⊕ (h >> 1)``.
     """
-    log2_exact(p)
+    table = _nu_table(p)
     if not 0 <= rank < p:
         raise ValueError(f"rank {rank} out of range for p={p}")
-    if rank == 0:
-        h = 0
-    elif rank % 2 == 0:
-        h = rank_to_nb(p - rank, p)
-    else:
-        h = rank_to_nb(rank, p)
-    return h ^ (h >> 1)
+    return table[rank]
 
 
 def nu_labels(p: int) -> list[int]:
     """ν labels for all ranks ``0 … p−1`` (a bijection onto ``0 … p−1``)."""
-    return [nu_label(r, p) for r in range(p)]
+    return list(_nu_table(p))
 
 
 def nu_inverse(p: int) -> list[int]:
     """Inverse ν table: ``inv[ν(r)] = r``."""
-    inv = [-1] * p
-    for r, v in enumerate(nu_labels(p)):
-        if not 0 <= v < p or inv[v] != -1:
-            raise AssertionError(f"ν is not a bijection at p={p}: rank {r} -> {v}")
-        inv[v] = r
-    return inv
+    return list(_nu_inverse_table(p))
 
 
 def dd_recv_step(rank: int, p: int) -> int:
@@ -127,7 +147,7 @@ def dd_recv_step(rank: int, p: int) -> int:
     return nu_label(rank, p).bit_length() - 1
 
 
-def dd_partner(rank: int, step: int, p: int, *, _inv_cache: dict = {}) -> int:
+def dd_partner(rank: int, step: int, p: int) -> int:
     """Destination of relative rank ``rank`` at ``step`` in the dd tree.
 
     The rank whose ν label differs exactly in bit ``step`` (Sec. 3.2.2).
@@ -135,9 +155,7 @@ def dd_partner(rank: int, step: int, p: int, *, _inv_cache: dict = {}) -> int:
     s = log2_exact(p)
     if not 0 <= step < s:
         raise ValueError(f"step {step} out of range for s={s}")
-    if p not in _inv_cache:
-        _inv_cache[p] = nu_inverse(p)
-    return _inv_cache[p][nu_label(rank, p) ^ (1 << step)]
+    return _nu_inverse_table(p)[nu_label(rank, p) ^ (1 << step)]
 
 
 def bine_tree_distance_doubling(p: int, root: int = 0) -> Tree:

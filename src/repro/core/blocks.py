@@ -25,19 +25,26 @@ class Partition:
             raise ValueError("p must be positive")
         if self.n < 0:
             raise ValueError("n must be non-negative")
+        # frozen dataclass: precompute the divmod once — bounds()/size() are
+        # called per transfer segment in the schedule builders
+        q, r = divmod(self.n, self.p)
+        object.__setattr__(self, "_q", q)
+        object.__setattr__(self, "_r", r)
 
     def size(self, block: int) -> int:
         """Element count of ``block``."""
         self._check(block)
-        q, r = divmod(self.n, self.p)
-        return q + (1 if block < r else 0)
+        return self._q + (1 if block < self._r else 0)
 
     def bounds(self, block: int) -> tuple[int, int]:
         """Half-open element range ``[lo, hi)`` of ``block``."""
         self._check(block)
-        q, r = divmod(self.n, self.p)
-        lo = block * q + min(block, r)
-        return lo, lo + self.size(block)
+        q, r = self._q, self._r
+        if block < r:
+            lo = block * (q + 1)
+            return lo, lo + q + 1
+        lo = block * q + r
+        return lo, lo + q
 
     def segments(self, blocks) -> list[tuple[int, int]]:
         """Coalesced half-open element ranges covering ``blocks``.
@@ -45,9 +52,17 @@ class Partition:
         Consecutive block indices merge into a single segment, so the result
         length equals the number of maximal runs in ``blocks``.
         """
+        q, r, p = self._q, self._r, self.p
         out: list[tuple[int, int]] = []
         for b in sorted(set(blocks)):
-            lo, hi = self.bounds(b)
+            if not 0 <= b < p:
+                raise ValueError(f"block {b} out of range for p={p}")
+            if b < r:
+                lo = b * (q + 1)
+                hi = lo + q + 1
+            else:
+                lo = b * q + r
+                hi = lo + q
             if out and out[-1][1] == lo:
                 out[-1] = (out[-1][0], hi)
             else:

@@ -19,6 +19,8 @@ represents ``1·4 + 1·(−2) + 0·1 = 2``.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 __all__ = [
     "to_negabinary",
     "from_negabinary",
@@ -26,6 +28,7 @@ __all__ = [
     "min_negabinary",
     "nb_width",
     "rank_to_nb",
+    "rank_to_nb_table",
     "nb_to_rank",
     "ones_mask",
     "trailing_equal_bits",
@@ -94,6 +97,24 @@ def nb_width(value: int) -> int:
     return to_negabinary(value).bit_length()
 
 
+@lru_cache(maxsize=None)
+def rank_to_nb_table(p: int) -> tuple[int, ...]:
+    """Memoized ``rank2nb`` table for all ranks ``0 … p−1``.
+
+    Labels are pure functions of ``p``, and schedule builders query them per
+    transfer; computing the whole window once per ``p`` turns the per-call
+    digit recursion into a table lookup for every later caller.
+    """
+    s = _log2_exact(p)
+    m = max_positive(s)
+    table = []
+    for rank in range(p):
+        bits = to_negabinary(rank if rank <= m else rank - p)
+        assert bits < (1 << s), (rank, p, bits)
+        table.append(bits)
+    return tuple(table)
+
+
 def rank_to_nb(rank: int, p: int) -> int:
     """``rank2nb(r, p)`` from the paper: negabinary pattern assigned to a rank.
 
@@ -101,14 +122,10 @@ def rank_to_nb(rank: int, p: int) -> int:
     the encoding of ``rank − p`` (a negative value), so that the ``p`` ranks
     exactly fill the ``s``-digit window.  Requires ``p`` to be a power of two.
     """
-    s = _log2_exact(p)
+    table = rank_to_nb_table(p)
     if not 0 <= rank < p:
         raise ValueError(f"rank {rank} out of range for p={p}")
-    m = max_positive(s)
-    value = rank if rank <= m else rank - p
-    bits = to_negabinary(value)
-    assert bits < (1 << s), (rank, p, bits)
-    return bits
+    return table[rank]
 
 
 def nb_to_rank(bits: int, p: int) -> int:

@@ -25,7 +25,7 @@ correctness tests always run the exact schedule builders.
 from __future__ import annotations
 
 from repro.core.butterfly import bine_butterfly_doubling
-from repro.model.simulator import ScheduleProfile, StepProfile, profile_step
+from repro.model.simulator import RouteTable, ScheduleProfile, StepProfile, profile_step
 from repro.topology.base import Topology
 from repro.topology.mapping import RankMap
 
@@ -42,27 +42,30 @@ __all__ = [
 ANALYTIC_THRESHOLD = 128
 
 
-def _ctx(p: int, topo: Topology, rank_map: RankMap):
+def _ctx(p: int, topo: Topology, rank_map: RankMap, routes: RouteTable | None):
     if rank_map.num_ranks != p:
         raise ValueError("mapping size mismatch")
-    return rank_map.groups(topo), {}
+    if routes is None:
+        routes = RouteTable(topo)
+    return rank_map.groups(topo), routes
 
 
 def ring_profile(
-    p: int, topo: Topology, rank_map: RankMap, variant: str
+    p: int, topo: Topology, rank_map: RankMap, variant: str,
+    routes: RouteTable | None = None,
 ) -> ScheduleProfile:
     """Exact ring profile: one representative step, replicated.
 
     ``variant``: ``"reduce_scatter"``, ``"allgather"`` or ``"allreduce"``.
     """
-    groups, cache = _ctx(p, topo, rank_map)
+    groups, rtab = _ctx(p, topo, rank_map, routes)
     rs_step = profile_step(
         ((r, (r + 1) % p, 1, 1, True) for r in range(p)),
-        (), topo, rank_map, groups, cache,
+        (), rtab, rank_map.nodes, groups,
     )
     ag_step = profile_step(
         ((r, (r + 1) % p, 1, 1, False) for r in range(p)),
-        (), topo, rank_map, groups, cache,
+        (), rtab, rank_map.nodes, groups,
     )
     if variant == "reduce_scatter":
         steps = (rs_step,) * (p - 1)
@@ -80,16 +83,17 @@ def ring_profile(
 
 
 def pairwise_alltoall_profile(
-    p: int, topo: Topology, rank_map: RankMap, samples: int = 32
+    p: int, topo: Topology, rank_map: RankMap, samples: int = 32,
+    routes: RouteTable | None = None,
 ) -> ScheduleProfile:
     """Pairwise alltoall: sample the offset space, replicate to neighbours."""
-    groups, cache = _ctx(p, topo, rank_map)
+    groups, rtab = _ctx(p, topo, rank_map, routes)
     offsets = sorted({max(1, round(1 + k * (p - 2) / max(1, samples - 1))) for k in range(samples)})
     sampled: dict[int, StepProfile] = {}
     for k in offsets:
         sampled[k] = profile_step(
             ((r, (r + k) % p, 1, 1, False) for r in range(p)),
-            (), topo, rank_map, groups, cache,
+            (), rtab, rank_map.nodes, groups,
         )
     keys = sorted(sampled)
     steps = []
@@ -101,13 +105,15 @@ def pairwise_alltoall_profile(
     return ScheduleProfile(p=p, n_build=p, meta=meta, steps=tuple(steps))
 
 
-def bruck_alltoall_profile(p: int, topo: Topology, rank_map: RankMap) -> ScheduleProfile:
+def bruck_alltoall_profile(
+    p: int, topo: Topology, rank_map: RankMap, routes: RouteTable | None = None
+) -> ScheduleProfile:
     """Bruck alltoall: packed sends (the rotation trick) + per-step pack copy.
 
     Real Bruck implementations rotate/pack blocks so each phase transmits
     contiguously; we charge one buffer-wide local copy per phase for it.
     """
-    groups, cache = _ctx(p, topo, rank_map)
+    groups, rtab = _ctx(p, topo, rank_map, routes)
     s = max(1, (p - 1).bit_length())
     steps = []
     for k in range(s):
@@ -117,19 +123,21 @@ def bruck_alltoall_profile(p: int, topo: Topology, rank_map: RankMap) -> Schedul
             profile_step(
                 ((r, (r + dist) % p, nelems, 1, False) for r in range(p)),
                 ((r, p, False) for r in range(p)),
-                topo, rank_map, groups, cache,
+                rtab, rank_map.nodes, groups,
             )
         )
     # final local unpack (inverse rotation)
     steps.append(
-        profile_step((), ((r, p, False) for r in range(p)), topo, rank_map, groups, cache)
+        profile_step((), ((r, p, False) for r in range(p)), rtab, rank_map.nodes, groups)
     )
     meta = {"collective": "alltoall", "algorithm": "bruck", "p": p, "n": p,
             "analytic": True}
     return ScheduleProfile(p=p, n_build=p, meta=meta, steps=tuple(steps))
 
 
-def bine_alltoall_profile(p: int, topo: Topology, rank_map: RankMap) -> ScheduleProfile:
+def bine_alltoall_profile(
+    p: int, topo: Topology, rank_map: RankMap, routes: RouteTable | None = None
+) -> ScheduleProfile:
     """Bine alltoall with the paper's packing scheme (Sec. 4.4).
 
     "Each rank moves the data it wants to keep to the left of its buffer and
@@ -141,7 +149,7 @@ def bine_alltoall_profile(p: int, topo: Topology, rank_map: RankMap) -> Schedule
     correctness oracle and the cost profile describe the same algorithm with
     the two data-handling choices the paper discusses.)
     """
-    groups, cache = _ctx(p, topo, rank_map)
+    groups, rtab = _ctx(p, topo, rank_map, routes)
     bf = bine_butterfly_doubling(p)
     steps = []
     for j in range(bf.num_steps):
@@ -149,11 +157,11 @@ def bine_alltoall_profile(p: int, topo: Topology, rank_map: RankMap) -> Schedule
             profile_step(
                 ((r, bf.partner(r, j), p // 2, 1, False) for r in range(p)),
                 ((r, p, False) for r in range(p)),
-                topo, rank_map, groups, cache,
+                rtab, rank_map.nodes, groups,
             )
         )
     steps.append(
-        profile_step((), ((r, p, False) for r in range(p)), topo, rank_map, groups, cache)
+        profile_step((), ((r, p, False) for r in range(p)), rtab, rank_map.nodes, groups)
     )
     meta = {"collective": "alltoall", "algorithm": "bine", "p": p, "n": p,
             "analytic": True}
@@ -162,10 +170,14 @@ def bine_alltoall_profile(p: int, topo: Topology, rank_map: RankMap) -> Schedule
 
 #: (collective, algorithm) → analytic builder(p, topo, rank_map)
 ANALYTIC_PROFILES = {
-    ("reduce_scatter", "ring"): lambda p, t, m: ring_profile(p, t, m, "reduce_scatter"),
-    ("allgather", "ring"): lambda p, t, m: ring_profile(p, t, m, "allgather"),
-    ("allreduce", "ring"): lambda p, t, m: ring_profile(p, t, m, "allreduce"),
-    ("alltoall", "pairwise"): pairwise_alltoall_profile,
+    ("reduce_scatter", "ring"):
+        lambda p, t, m, routes=None: ring_profile(p, t, m, "reduce_scatter", routes),
+    ("allgather", "ring"):
+        lambda p, t, m, routes=None: ring_profile(p, t, m, "allgather", routes),
+    ("allreduce", "ring"):
+        lambda p, t, m, routes=None: ring_profile(p, t, m, "allreduce", routes),
+    ("alltoall", "pairwise"):
+        lambda p, t, m, routes=None: pairwise_alltoall_profile(p, t, m, routes=routes),
     ("alltoall", "bruck"): bruck_alltoall_profile,
     ("alltoall", "bine"): bine_alltoall_profile,
 }

@@ -7,18 +7,38 @@ Evaluating any real vector size then just scales the byte terms by
 ``n / n_build`` — latency terms (hops, segment counts) are size-invariant.
 This mirrors how the algorithms behave: their communication structure does
 not depend on the vector size, only their per-transfer byte counts do.
+
+Routing is shared across profiles through a :class:`RouteTable`: minimal
+routes depend only on the *node pair*, never on the schedule or the rank
+mapping, so one table per topology serves every algorithm of a campaign.
+The table interns each distinct link as an integer index and precomputes,
+per node pair, the link-index/width/class arrays and the hop signature that
+:func:`profile_step` folds over — turning the former per-transfer dict
+churn into NumPy array accumulation.  The sweep layer
+(:mod:`repro.analysis.sweep`) owns one ``RouteTable`` per
+:class:`ProfileCache` and threads it through both exact and analytic
+profile builders.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.model.cost import CostParams
 from repro.runtime.schedule import Schedule
 from repro.topology.base import LinkClass, Topology
 from repro.topology.mapping import RankMap
 
-__all__ = ["StepProfile", "ScheduleProfile", "profile_schedule", "evaluate_time", "RunMetrics"]
+__all__ = [
+    "StepProfile",
+    "ScheduleProfile",
+    "RouteTable",
+    "profile_schedule",
+    "evaluate_time",
+    "RunMetrics",
+]
 
 
 @dataclass(frozen=True)
@@ -68,89 +88,215 @@ class ScheduleProfile:
         return out
 
 
+@dataclass(frozen=True)
+class _PairRoute:
+    """Precomputed routing data for one ordered node pair."""
+
+    #: interned link indices along the minimal route (unique per route)
+    link_idx: np.ndarray
+    #: parallel physical-link widths (float, for exact load division)
+    width: np.ndarray
+    #: parallel link class ids (indices into the table's class-name list)
+    cls_idx: np.ndarray
+    #: ready-made latency signature: sorted ``(class, hop_count)`` pairs
+    hops: tuple[tuple[str, int], ...]
+    #: route leaves the node (any non-intra link) → counts as NIC traffic
+    uses_nic: bool
+
+
+class RouteTable:
+    """Interned minimal routes for one topology, shared across profiles.
+
+    Routes depend only on the node pair, never on the schedule or rank
+    mapping, so all algorithms profiled against the same topology share one
+    table (the sweep layer keeps one per
+    :class:`~repro.analysis.sweep.ProfileCache`).  Links are interned to
+    integer indices; node pairs resolve lazily to :class:`_PairRoute`
+    entries that :func:`profile_step` consumes without touching the
+    topology again.
+    """
+
+    def __init__(self, topo: Topology):
+        self.topo = topo
+        self._pairs: dict[tuple[int, int], _PairRoute] = {}
+        self._link_ids: dict[tuple, int] = {}
+        self._cls_ids: dict[str, int] = {}
+        self.cls_names: list[str] = []
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def pair(self, a: int, b: int) -> _PairRoute:
+        """Routing data for nodes ``a → b`` (computed once, then cached)."""
+        key = (a, b)
+        pr = self._pairs.get(key)
+        if pr is None:
+            pr = self._intern(a, b)
+            self._pairs[key] = pr
+        return pr
+
+    def _intern(self, a: int, b: int) -> _PairRoute:
+        route = self.topo.route(a, b)
+        idx, width, cls_idx = [], [], []
+        hops: dict[str, int] = {}
+        uses_nic = False
+        for link in route:
+            li = self._link_ids.get(link.key)
+            if li is None:
+                li = self._link_ids[link.key] = len(self._link_ids)
+            ci = self._cls_ids.get(link.cls)
+            if ci is None:
+                ci = self._cls_ids[link.cls] = len(self._cls_ids)
+                self.cls_names.append(link.cls)
+            idx.append(li)
+            width.append(float(link.width))
+            cls_idx.append(ci)
+            hops[link.cls] = hops.get(link.cls, 0) + 1
+            if link.cls != LinkClass.INTRA:
+                uses_nic = True
+        return _PairRoute(
+            link_idx=np.asarray(idx, dtype=np.intp),
+            width=np.asarray(width, dtype=np.float64),
+            cls_idx=np.asarray(cls_idx, dtype=np.intp),
+            hops=tuple(sorted(hops.items())),
+            uses_nic=uses_nic,
+        )
+
+
 def profile_step(
     transfers,
     local_ops,
-    topo: Topology,
-    rank_map: RankMap,
+    routes: RouteTable,
+    node_of,
     groups,
-    route_cache: dict,
 ) -> StepProfile:
     """Collapse one step's transfers/local ops into a :class:`StepProfile`.
 
     ``transfers`` yields ``(src_rank, dst_rank, nelems, num_segments, has_op)``
-    tuples; ``local_ops`` yields ``(rank, nelems, has_op)``.
-    """
-    loads: dict[tuple, int] = {}
-    max_by_class: dict[str, int] = {}
-    inj: dict[int, int] = {}
-    ej: dict[int, int] = {}
-    red: dict[int, int] = {}
-    msgs: dict[int, int] = {}
-    signatures: set = set()
-    global_elems = 0
-    class_elems: dict[str, int] = {}
-    from repro.topology.base import LinkClass
+    tuples; ``local_ops`` yields ``(rank, nelems, has_op)``; ``node_of`` and
+    ``groups`` are per-rank node / group tables; ``routes`` is the shared
+    :class:`RouteTable` of the topology being profiled.
 
-    copy: dict[int, int] = {}
-    for src, dst, nelems, nsegs, has_op in transfers:
-        msgs[src] = msgs.get(src, 0) + 1
-        msgs[dst] = msgs.get(dst, 0) + 1
-        a, b = rank_map.node_of(src), rank_map.node_of(dst)
-        key = (a, b)
-        if key not in route_cache:
-            route_cache[key] = topo.route(a, b)
-        hops: dict[str, int] = {}
-        uses_nic = False
-        for link in route_cache[key]:
-            eff = (loads.get(link.key, 0) + nelems * 1.0 / link.width)
-            loads[link.key] = eff
-            if eff > max_by_class.get(link.cls, 0):
-                max_by_class[link.cls] = eff
-            hops[link.cls] = hops.get(link.cls, 0) + 1
-            class_elems[link.cls] = class_elems.get(link.cls, 0) + nelems
-            if link.cls != LinkClass.INTRA:
-                uses_nic = True
-        signatures.add((tuple(sorted(hops.items())), nsegs))
-        if uses_nic:
-            # NIC injection/ejection; intra-node (clique / shared-memory)
-            # traffic rides the node-local fabric instead.
-            inj[src] = inj.get(src, 0) + nelems
-            ej[dst] = ej.get(dst, 0) + nelems
-        elif a == b:
-            # same node, ppn > 1: a shared-memory copy
-            copy[dst] = copy.get(dst, 0) + nelems
-        if has_op:
-            red[dst] = red.get(dst, 0) + nelems
-        if groups[src] != groups[dst]:
-            global_elems += nelems
+    Per-rank aggregates (messages, injection/ejection, reduction, copies)
+    accumulate through ``np.bincount``; per-link loads accumulate through one
+    ``np.add.at`` over the concatenated route-link indices, which adds
+    contributions in transfer order — bit-identical to the sequential
+    per-link scalar accumulation it replaces.
+    """
+    transfers = list(transfers)
+    p = len(node_of)
+    signatures: set = set()
+    max_by_class: dict[str, float] = {}
+    class_elems: dict[str, int] = {}
+
+    n_t = len(transfers)
+    idx_chunks: list[np.ndarray] = []
+    contrib_chunks: list[np.ndarray] = []
+    cls_chunks: list[np.ndarray] = []
+    nic_l = []
+    same_l = []
+    crosses_l = []
+
+    if n_t:
+        pair_map = routes._pairs
+        src_l, dst_l, ne_l, nsegs_l, op_l = zip(*transfers)
+        for s_, d_, ne_, nsegs_ in zip(src_l, dst_l, ne_l, nsegs_l):
+            a, b = node_of[s_], node_of[d_]
+            pr = pair_map.get((a, b))
+            if pr is None:
+                pr = routes.pair(a, b)
+            nic_l.append(pr.uses_nic)
+            same_l.append(a == b)
+            crosses_l.append(groups[s_] != groups[d_])
+            signatures.add((pr.hops, nsegs_))
+            if pr.link_idx.size:
+                idx_chunks.append(pr.link_idx)
+                contrib_chunks.append(ne_ / pr.width)
+                cls_chunks.append(pr.cls_idx)
+                for cls, h in pr.hops:
+                    class_elems[cls] = class_elems.get(cls, 0) + ne_ * h
+        src = np.fromiter(src_l, np.intp, n_t)
+        dst = np.fromiter(dst_l, np.intp, n_t)
+        ne = np.fromiter(ne_l, np.float64, n_t)
+        nic = np.fromiter(nic_l, bool, n_t)
+        red_mask = np.fromiter(op_l, bool, n_t)
+        same_node = np.fromiter(same_l, bool, n_t)
+        crosses = np.fromiter(crosses_l, bool, n_t)
+
+    if idx_chunks:
+        cat_idx = np.concatenate(idx_chunks)
+        cat_contrib = np.concatenate(contrib_chunks)
+        cat_cls = np.concatenate(cls_chunks)
+        uniq, local = np.unique(cat_idx, return_inverse=True)
+        loads = np.zeros(uniq.size, dtype=np.float64)
+        # np.add.at is unbuffered: repeated indices add sequentially in
+        # array order, so each link sums its contributions in transfer
+        # order exactly as the scalar loop did.
+        np.add.at(loads, local, cat_contrib)
+        link_cls = np.zeros(uniq.size, dtype=np.intp)
+        link_cls[local] = cat_cls
+        for ci in np.unique(link_cls):
+            m = loads[link_cls == ci].max()
+            if m > 0:
+                max_by_class[routes.cls_names[ci]] = float(m)
+
+    if n_t:
+        msgs = np.bincount(src, minlength=p) + np.bincount(dst, minlength=p)
+        max_node_msgs = int(msgs.max())
+        # NIC injection/ejection; intra-node (clique / shared-memory)
+        # traffic rides the node-local fabric instead.
+        max_inj = int(np.bincount(src[nic], weights=ne[nic], minlength=p).max())
+        max_ej = int(np.bincount(dst[nic], weights=ne[nic], minlength=p).max())
+        # same node, ppn > 1: a shared-memory copy
+        copy_mask = ~nic & same_node
+        copy_by_rank = np.bincount(dst[copy_mask], weights=ne[copy_mask], minlength=p)
+        red_by_rank = np.bincount(dst[red_mask], weights=ne[red_mask], minlength=p)
+        global_elems = int(ne[crosses].sum())
+    else:
+        max_node_msgs = max_inj = max_ej = global_elems = 0
+        copy_by_rank = np.zeros(p, dtype=np.float64)
+        red_by_rank = np.zeros(p, dtype=np.float64)
+
     for rank, nelems, has_op in local_ops:
-        copy[rank] = copy.get(rank, 0) + nelems
+        copy_by_rank[rank] += nelems
         if has_op:
-            red[rank] = red.get(rank, 0) + nelems
+            red_by_rank[rank] += nelems
+
     return StepProfile(
         lat_signatures=tuple(sorted(signatures)),
         max_link_load=tuple(sorted(max_by_class.items())),
-        max_inj=max(inj.values(), default=0),
-        max_ej=max(ej.values(), default=0),
-        max_reduce=max(red.values(), default=0),
-        max_copy=max(copy.values(), default=0),
+        max_inj=max_inj,
+        max_ej=max_ej,
+        max_reduce=int(red_by_rank.max()) if p else 0,
+        max_copy=int(copy_by_rank.max()) if p else 0,
         global_elems=global_elems,
         class_elems=tuple(sorted(class_elems.items())),
-        max_node_msgs=max(msgs.values(), default=0),
+        max_node_msgs=max_node_msgs,
     )
 
 
 def profile_schedule(
-    schedule: Schedule, topo: Topology, rank_map: RankMap
+    schedule: Schedule,
+    topo: Topology,
+    rank_map: RankMap,
+    *,
+    routes: RouteTable | None = None,
 ) -> ScheduleProfile:
-    """Route every transfer and collapse each step into aggregates."""
+    """Route every transfer and collapse each step into aggregates.
+
+    Pass ``routes`` to share one node-pair route table across many profiles
+    of the same topology (the sweep layer always does); omitted, a private
+    table is built for this call.
+    """
     if rank_map.num_ranks != schedule.p:
         raise ValueError(
             f"mapping covers {rank_map.num_ranks} ranks, schedule needs {schedule.p}"
         )
+    if routes is None:
+        routes = RouteTable(topo)
+    elif routes.topo is not topo:
+        raise ValueError("routes table was built for a different topology")
     groups = rank_map.groups(topo)
-    route_cache: dict[tuple[int, int], list] = {}
     steps = []
     for step in schedule.steps:
         steps.append(
@@ -163,10 +309,9 @@ def profile_schedule(
                     (lc.rank, lc.nelems, lc.op is not None)
                     for lc in list(step.pre) + list(step.post)
                 ),
-                topo,
-                rank_map,
+                routes,
+                rank_map.nodes,
                 groups,
-                route_cache,
             )
         )
     return ScheduleProfile(

@@ -19,18 +19,69 @@ Segments are half-open element ranges ``(lo, hi)`` into named per-rank
 buffers; a transfer carries parallel segment lists for source and
 destination whose total lengths must match.  ``op=None`` overwrites the
 destination, otherwise the named associative reduce op combines into it.
+
+Builders finish with :meth:`Schedule.finalize`, which validates the
+schedule only when validation is enabled: always under normal library use
+and pytest, toggled off by the sweep layer (which rebuilds the same
+schedules thousands of times) and overridable either way through the
+``REPRO_VALIDATE`` environment variable (``1``/``0``).
 """
 
 from __future__ import annotations
 
+import os
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.runtime.errors import BufferMismatchError, ScheduleError
 
-__all__ = ["Segment", "Transfer", "LocalCopy", "Step", "Schedule", "total_elems"]
+__all__ = [
+    "Segment",
+    "Transfer",
+    "LocalCopy",
+    "Step",
+    "Schedule",
+    "total_elems",
+    "validation_enabled",
+    "schedule_validation",
+]
 
 Segment = tuple[int, int]
+
+#: process-local override installed by :func:`schedule_validation`; ``None``
+#: means "use the default" (validate).  The ``REPRO_VALIDATE`` environment
+#: variable, when set, wins over both.
+_VALIDATE_OVERRIDE: bool | None = None
+
+
+def validation_enabled() -> bool:
+    """Whether :meth:`Schedule.finalize` should run the full validation pass.
+
+    Resolution order: ``REPRO_VALIDATE`` env var (``0``/``false``/``off``
+    disable, anything else enables) → :func:`schedule_validation` override →
+    default *on*.  The default keeps library users and the test suite fully
+    checked; sweeps opt out explicitly because they rebuild known-good
+    schedules in bulk.
+    """
+    env = os.environ.get("REPRO_VALIDATE")
+    if env is not None and env.strip():  # empty string behaves like unset
+        return env.strip().lower() not in ("0", "false", "off", "no")
+    if _VALIDATE_OVERRIDE is not None:
+        return _VALIDATE_OVERRIDE
+    return True
+
+
+@contextmanager
+def schedule_validation(enabled: bool) -> Iterator[None]:
+    """Temporarily force schedule validation on or off for this process."""
+    global _VALIDATE_OVERRIDE
+    prev = _VALIDATE_OVERRIDE
+    _VALIDATE_OVERRIDE = enabled
+    try:
+        yield
+    finally:
+        _VALIDATE_OVERRIDE = prev
 
 
 def total_elems(segments: Sequence[Segment]) -> int:
@@ -59,16 +110,23 @@ class Transfer:
     def __post_init__(self) -> None:
         if self.src == self.dst:
             raise ScheduleError(f"transfer to self at rank {self.src} ({self.tag})")
-        if total_elems(self.src_segments) != total_elems(self.dst_segments):
+        sent = total_elems(self.src_segments)
+        # butterfly builders pass one tuple as both ends — skip the re-sum
+        if self.dst_segments is not self.src_segments and sent != total_elems(
+            self.dst_segments
+        ):
             raise BufferMismatchError(
                 f"transfer {self.src}->{self.dst} ({self.tag}): "
-                f"{total_elems(self.src_segments)} elems sent, "
+                f"{sent} elems sent, "
                 f"{total_elems(self.dst_segments)} expected"
             )
+        # frozen dataclass: stash the size computed during validation so the
+        # profiling layer doesn't re-sum segment lists per access
+        object.__setattr__(self, "_nelems", sent)
 
     @property
     def nelems(self) -> int:
-        return total_elems(self.src_segments)
+        return self._nelems
 
     @property
     def num_segments(self) -> int:
@@ -89,14 +147,16 @@ class LocalCopy:
     tag: str = ""
 
     def __post_init__(self) -> None:
-        if total_elems(self.src_segments) != total_elems(self.dst_segments):
+        moved = total_elems(self.src_segments)
+        if moved != total_elems(self.dst_segments):
             raise BufferMismatchError(
                 f"local copy at rank {self.rank} ({self.tag}): segment size mismatch"
             )
+        object.__setattr__(self, "_nelems", moved)
 
     @property
     def nelems(self) -> int:
-        return total_elems(self.src_segments)
+        return self._nelems
 
 
 @dataclass(frozen=True)
@@ -109,22 +169,19 @@ class Step:
     label: str = ""
 
     def validate(self, p: int) -> None:
-        writes: dict[tuple[int, str], list[Segment]] = {}
+        # Overlapping destination writes within one step are nondeterministic
+        # (two messages landing on the same region) — reject unless reducing.
+        # Non-reducing writes are grouped by (rank, buf) in the same single
+        # pass that checks rank ranges, so validation stays O(transfers).
+        non_reduce: dict[tuple[int, str], list[Segment]] = {}
         for t in self.transfers:
             for r in (t.src, t.dst):
                 if not 0 <= r < p:
                     raise ScheduleError(f"rank {r} out of range in step {self.label!r}")
-            writes.setdefault((t.dst, t.dst_buf), []).extend(t.dst_segments)
-        # Overlapping destination writes within one step are nondeterministic
-        # (two messages landing on the same region) — reject unless reducing.
-        for (rank, buf), segs in writes.items():
-            non_reduce = [
-                seg
-                for t in self.transfers
-                if t.dst == rank and t.dst_buf == buf and t.op is None
-                for seg in t.dst_segments
-            ]
-            _check_disjoint(non_reduce, f"step {self.label!r} rank {rank} buf {buf}")
+            if t.op is None:
+                non_reduce.setdefault((t.dst, t.dst_buf), []).extend(t.dst_segments)
+        for (rank, buf), segs in non_reduce.items():
+            _check_disjoint(segs, f"step {self.label!r} rank {rank} buf {buf}")
 
     def comm_bytes(self, itemsize: int) -> int:
         return sum(t.nelems for t in self.transfers) * itemsize
@@ -150,6 +207,17 @@ class Schedule:
             raise ScheduleError("schedule needs p > 0")
         for step in self.steps:
             step.validate(self.p)
+        return self
+
+    def finalize(self) -> "Schedule":
+        """Builder exit hook: validate unless validation is switched off.
+
+        All schedule builders return through here so the expensive
+        whole-schedule check is a single toggle (see
+        :func:`validation_enabled`) instead of 20+ unconditional call sites.
+        """
+        if validation_enabled():
+            return self.validate()
         return self
 
     def all_transfers(self) -> Iterable[tuple[int, Transfer]]:

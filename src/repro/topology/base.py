@@ -65,7 +65,13 @@ class Topology(ABC):
 
     @property
     def num_groups(self) -> int:
-        return len({self.group_of(v) for v in range(self.num_nodes)})
+        # Cached on the instance: profiling asks for this once per schedule,
+        # and the set comprehension is O(num_nodes) on every access.
+        cached = getattr(self, "_num_groups_cache", None)
+        if cached is None:
+            cached = len({self.group_of(v) for v in range(self.num_nodes)})
+            self._num_groups_cache = cached
+        return cached
 
     def crosses_groups(self, src: int, dst: int) -> bool:
         return self.group_of(src) != self.group_of(dst)

@@ -1,0 +1,34 @@
+"""Wall-clock guard against sweep-pipeline performance regressions.
+
+The quadratic ``Step.validate`` re-scan (and the uncached ν-label tables it
+hid behind) made a single 256-rank butterfly build+profile take seconds;
+the fixed pipeline does it in well under one.  A generous budget keeps the
+test portable across CI machines while still failing loudly if an
+O(transfers²)-class regression returns.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.sweep import clear_memo_caches
+from repro.collectives.butterfly_collectives import allgather_butterfly
+from repro.core.butterfly import bine_butterfly_doubling
+from repro.model.simulator import profile_schedule
+from repro.systems import lumi
+from repro.topology.mapping import block_mapping
+
+#: generous ceiling — the pre-fix pipeline exceeded it several times over
+BUDGET_S = 5.0
+
+
+def test_256_rank_allgather_build_profile_under_budget():
+    clear_memo_caches()  # cold start: include label-table construction
+    preset = lumi()
+    topo = preset.build_topology()
+    t0 = time.perf_counter()
+    schedule = allgather_butterfly(bine_butterfly_doubling(256), 256)
+    profile = profile_schedule(schedule, topo, block_mapping(256))
+    elapsed = time.perf_counter() - t0
+    assert len(profile.steps) == schedule.num_steps == 8
+    assert elapsed < BUDGET_S, f"build+profile took {elapsed:.2f}s (budget {BUDGET_S}s)"
