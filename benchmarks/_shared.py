@@ -1,13 +1,19 @@
 """Shared infrastructure for the paper-reproduction benchmarks.
 
-Sweeps are cached per system inside one pytest process so the table,
-heatmap, and boxplot benches for a system reuse the same records (as the
-paper derives Tables 3-5 and Figs. 9-11 from one measurement campaign).
-Schedule profiles additionally persist on disk under
-``benchmarks/results/.cache/`` (keyed by system, placement, seed, busy
-fraction, collective, algorithm, p and ppn), so re-running a campaign in a
-fresh process skips schedule construction and routing entirely; delete the
-directory to force a cold rebuild.
+The three measurement campaigns (LUMI / Leonardo / MareNostrum 5) are
+*defined* by the manifests in ``campaigns/*.toml`` and executed through
+:func:`repro.cli.campaign.run_campaign` — the same path as
+``python -m repro campaign`` — so the bench scripts, the CLI, and
+``docs/reproducing.md`` can never disagree about what a campaign is.
+
+Each campaign's records are cached per pytest process (the table, heatmap
+and boxplot benches of a system reuse one sweep, as the paper derives
+Tables 3-5 and Figs. 9-11 from one campaign per machine) and its schedule
+profiles persist on disk under ``benchmarks/results/.cache/`` (keyed by
+system, placement, seed, busy fraction, collective, algorithm, p, ppn and
+a mapping digest), so re-running in a fresh process skips schedule
+construction and routing entirely.  Delete the directory to force a cold
+rebuild.
 
 Every bench writes its rendered output under ``benchmarks/results/`` *and*
 returns it, so ``pytest benchmarks/ --benchmark-only`` leaves the
@@ -19,9 +25,11 @@ from __future__ import annotations
 from functools import lru_cache
 from pathlib import Path
 
-from repro.analysis.sweep import ProfileCache, sweep_system
-from repro.systems import leonardo, lumi, marenostrum5
+from repro.cli.campaign import run_campaign
+from repro.cli.manifest import load_manifest
 
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CAMPAIGNS_DIR = REPO_ROOT / "campaigns"
 RESULTS_DIR = Path(__file__).parent / "results"
 PROFILE_CACHE_DIR = RESULTS_DIR / ".cache"
 
@@ -41,63 +49,25 @@ def write_result(name: str, text: str) -> str:
 
 
 @lru_cache(maxsize=None)
+def campaign_records(manifest_name: str) -> tuple:
+    """Records of one ``campaigns/<name>.toml`` manifest, cached per process."""
+    manifest = load_manifest(CAMPAIGNS_DIR / f"{manifest_name}.toml")
+    return tuple(run_campaign(manifest, disk_dir=PROFILE_CACHE_DIR).records)
+
+
 def lumi_sweep():
     """LUMI campaign: 16-1024 nodes × 9 sizes × 8 collectives (Table 3)."""
-    preset = lumi()
-    cache = ProfileCache(preset, placement="scheduler", disk_dir=PROFILE_CACHE_DIR)
-    return tuple(
-        sweep_system(
-            preset,
-            ALL_COLLECTIVES,
-            node_counts=(16, 64, 256, 1024),
-            vector_bytes=PAPER_SIZES,
-            cache=cache,
-        )
-    )
+    return campaign_records("table3_lumi")
 
 
-@lru_cache(maxsize=None)
 def leonardo_sweep():
     """Leonardo campaign (Table 4): all collectives to 256 nodes; only
-    allreduce/allgather at 2048 (the paper's maintenance-window restriction)."""
-    preset = leonardo()
-    cache = ProfileCache(preset, placement="scheduler", disk_dir=PROFILE_CACHE_DIR)
-    records = sweep_system(
-        preset,
-        ALL_COLLECTIVES,
-        node_counts=(16, 64, 256),
-        vector_bytes=PAPER_SIZES,
-        cache=cache,
-    )
-    records += sweep_system(
-        preset,
-        ("allreduce", "allgather"),
-        node_counts=(1024, 2048),
-        vector_bytes=PAPER_SIZES,
-        cache=cache,
-    )
-    return tuple(records)
+    allreduce/allgather at 1024/2048 (the paper's maintenance-window
+    restriction)."""
+    return campaign_records("table4_leonardo")
 
 
-@lru_cache(maxsize=None)
 def mn5_sweep():
-    """MareNostrum 5 campaign (Table 5): 4-64 nodes.
-
-    The paper's MN5 jobs spanned one to eight subtrees; a busier sampler
-    reproduces that fragmentation at these small node counts (on an idle
-    sampler a 64-node job fits one 160-node subtree and every algorithm
-    degenerates to local traffic).
-    """
-    preset = marenostrum5()
-    cache = ProfileCache(
-        preset, placement="scheduler", busy_fraction=0.9, disk_dir=PROFILE_CACHE_DIR
-    )
-    return tuple(
-        sweep_system(
-            preset,
-            ALL_COLLECTIVES,
-            node_counts=(4, 8, 16, 32, 64),
-            vector_bytes=PAPER_SIZES,
-            cache=cache,
-        )
-    )
+    """MareNostrum 5 campaign (Table 5): 4-64 nodes on a busy sampler (see
+    the manifest's comment on subtree fragmentation)."""
+    return campaign_records("table5_mn5")

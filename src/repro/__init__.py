@@ -1,0 +1,16 @@
+"""Reproduction of *Bine Trees: Enhancing Collective Operations by
+Optimizing Communication Locality* (SC '25).
+
+Layers (see ``docs/architecture.md``):
+
+* :mod:`repro.core`        — Bine/binomial trees, butterflies, negabinary labels
+* :mod:`repro.collectives` — schedule builders + the algorithm registry
+* :mod:`repro.runtime`     — the Schedule IR, NumPy executor, verification
+* :mod:`repro.topology`    — Dragonfly(+)/fat-tree/torus models, placements
+* :mod:`repro.model`       — routing, traffic accounting, α-β cost model
+* :mod:`repro.systems`     — LUMI / Leonardo / MareNostrum 5 / Fugaku presets
+* :mod:`repro.analysis`    — sweeps, paper-style summaries, plots
+* :mod:`repro.cli`         — the ``repro`` command-line front door
+"""
+
+__version__ = "1.0.0"

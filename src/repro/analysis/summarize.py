@@ -25,6 +25,7 @@ from repro.analysis.sweep import SweepRecord
 
 __all__ = [
     "DuelSummary",
+    "DUEL_FIELDS",
     "family_duel",
     "best_algorithm_cells",
     "bine_improvement_distribution",
@@ -53,9 +54,31 @@ def _cells(records: Sequence[SweepRecord]):
     return cells
 
 
+#: column order for machine-readable duel exports (JSON / CSV / Markdown)
+DUEL_FIELDS = (
+    "collective",
+    "cells",
+    "win_pct",
+    "loss_pct",
+    "avg_gain",
+    "max_gain",
+    "avg_drop",
+    "max_drop",
+    "avg_traffic_reduction",
+    "max_traffic_reduction",
+)
+
+
 @dataclass(frozen=True)
 class DuelSummary:
-    """Table 3/4/5 row for one collective."""
+    """Table 3/4/5 row for one collective.
+
+    Example::
+
+        >>> s = DuelSummary("bcast", 4, 75.0, 0.0, 10.0, 20.0, 0.0, 0.0, 5.0, 9.0)
+        >>> s.to_dict()["win_pct"]
+        75.0
+    """
 
     collective: str
     cells: int
@@ -67,6 +90,10 @@ class DuelSummary:
     max_drop: float
     avg_traffic_reduction: float
     max_traffic_reduction: float
+
+    def to_dict(self) -> dict:
+        """Plain-dict view in :data:`DUEL_FIELDS` order, for export."""
+        return {f: getattr(self, f) for f in DUEL_FIELDS}
 
 
 def family_duel(

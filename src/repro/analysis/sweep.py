@@ -62,7 +62,13 @@ from repro.systems.presets import SystemPreset
 from repro.topology.allocation import AllocationSampler, SystemShape
 from repro.topology.mapping import RankMap, allocation_mapping, block_mapping
 
-__all__ = ["SweepRecord", "sweep_system", "ProfileCache", "clear_memo_caches"]
+__all__ = [
+    "SweepRecord",
+    "RECORD_FIELDS",
+    "sweep_system",
+    "ProfileCache",
+    "clear_memo_caches",
+]
 
 
 def clear_memo_caches() -> None:
@@ -73,6 +79,11 @@ def clear_memo_caches() -> None:
     and the cross-schedule butterfly segment cache.  Per-:class:`ProfileCache`
     state (route tables, profiles, mappings) is unaffected — drop the cache
     object itself for that.
+
+    Example::
+
+        >>> from repro.analysis.sweep import clear_memo_caches
+        >>> clear_memo_caches()  # next schedule build starts fully cold
     """
     from repro.collectives import butterfly_collectives as _bc
     from repro.collectives import common as _common
@@ -93,9 +104,31 @@ _CACHE_VERSION = 1
 _MISS = object()
 
 
+#: column order shared by every machine-readable export (JSON, CSV, Markdown)
+RECORD_FIELDS = (
+    "system",
+    "collective",
+    "algorithm",
+    "family",
+    "p",
+    "n_bytes",
+    "time",
+    "global_bytes",
+)
+
+
 @dataclass(frozen=True)
 class SweepRecord:
-    """One evaluated configuration."""
+    """One evaluated ``(system, collective, algorithm, p, n_bytes)`` cell.
+
+    Example::
+
+        >>> r = SweepRecord("lumi", "bcast", "bine", "bine", 16, 32, 1e-6, 64.0)
+        >>> r.key
+        ('bcast', 16, 32)
+        >>> SweepRecord.from_dict(r.to_dict()) == r
+        True
+    """
 
     system: str
     collective: str
@@ -108,7 +141,17 @@ class SweepRecord:
 
     @property
     def key(self) -> tuple:
+        """Cell identity — records sharing a key compete in summaries."""
         return (self.collective, self.p, self.n_bytes)
+
+    def to_dict(self) -> dict:
+        """Plain-dict view in :data:`RECORD_FIELDS` order, for export."""
+        return {f: getattr(self, f) for f in RECORD_FIELDS}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SweepRecord":
+        """Rebuild a record from :meth:`to_dict` output (JSON round-trips)."""
+        return cls(**{f: d[f] for f in RECORD_FIELDS})
 
 
 class ProfileCache:
@@ -158,6 +201,19 @@ class ProfileCache:
             raise ValueError(f"unknown placement {placement!r}")
 
     def mapping_for(self, p: int, ppn: int = 1) -> RankMap:
+        """The rank→node mapping used for every ``p``-rank profile.
+
+        Scheduler placements are order-dependent RNG draws, so the first
+        call for a given ``(p, ppn)`` fixes the mapping for the cache's
+        lifetime (and parallel sweeps pre-sample here, in serial order).
+
+        Example::
+
+            >>> from repro.systems import lumi
+            >>> cache = ProfileCache(lumi(), placement="block")
+            >>> cache.mapping_for(4).nodes
+            (0, 1, 2, 3)
+        """
         key = (p, ppn)
         if key not in self._mappings:
             num_nodes = p // ppn
@@ -170,7 +226,16 @@ class ProfileCache:
         return self._mappings[key]
 
     def applicable(self, spec: AlgorithmSpec, p: int, ppn: int = 1) -> bool:
-        """Cheap pre-checks that gate both building and mapping sampling."""
+        """Cheap pre-checks that gate both building and mapping sampling.
+
+        Example::
+
+            >>> from repro.collectives.registry import spec_for
+            >>> from repro.systems import lumi
+            >>> cache = ProfileCache(lumi(), placement="block")
+            >>> cache.applicable(spec_for("allgather", "sparbit"), 1024)
+            False
+        """
         if p // ppn > self.topo.num_nodes:
             return False
         if spec.max_p is not None and p > spec.max_p:
@@ -178,6 +243,16 @@ class ProfileCache:
         return True
 
     def get(self, spec: AlgorithmSpec, p: int, ppn: int = 1) -> ScheduleProfile | None:
+        """Profile for one ``(algorithm, p, ppn)``; ``None`` if inapplicable.
+
+        Example::
+
+            >>> from repro.collectives.registry import spec_for
+            >>> from repro.systems import lumi
+            >>> cache = ProfileCache(lumi(), placement="block")
+            >>> cache.get(spec_for("bcast", "bine"), 16).p
+            16
+        """
         key = (spec.collective, spec.name, p, ppn)
         if key not in self._cache:
             if not self.applicable(spec, p, ppn):
@@ -348,6 +423,14 @@ def sweep_system(
     onto a process pool; results are identical to the serial sweep, in the
     same order.  ``disk_dir`` enables the persistent profile cache (ignored
     when an explicit ``cache`` is passed — configure it there instead).
+
+    Example (one-cell grid)::
+
+        >>> from repro.systems import lumi
+        >>> recs = sweep_system(lumi(), ("bcast",), node_counts=(16,),
+        ...                     vector_bytes=(1024,), algorithms=("bine",))
+        >>> [(r.algorithm, r.p, r.n_bytes) for r in recs]
+        [('bine', 16, 1024)]
     """
     node_counts = tuple(node_counts if node_counts is not None else preset.node_counts)
     vector_bytes = tuple(

@@ -1,0 +1,28 @@
+"""Command-line interface: ``python -m repro`` / the ``repro`` script.
+
+One driveable front door over the whole library, mirroring how PICO (the
+paper's benchmarking framework) and classic collective auto-tuners expose
+their algorithm space:
+
+* ``repro list``     — the registry catalog: systems, collectives, 30+
+  algorithms with families and constraints (``--markdown`` renders
+  ``docs/algorithms.md``);
+* ``repro schedule`` — build + validate + pretty-print one schedule;
+* ``repro sweep``    — one grid over a system, wrapping
+  :func:`repro.analysis.sweep.sweep_system` with ``--workers`` /
+  ``--disk-cache`` and JSON/CSV/Markdown output;
+* ``repro bench``    — discover and run the ``benchmarks/bench_*.py``
+  reproduction scripts;
+* ``repro campaign`` — run a declarative TOML/JSON manifest (see
+  ``campaigns/``) reproducing a whole paper table in one command.
+
+Example::
+
+    >>> from repro.cli import main
+    >>> main(["list", "--collective", "alltoall"])  # doctest: +SKIP
+    0
+"""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

@@ -1,0 +1,130 @@
+"""Campaign orchestration: run a manifest against the sweep pipeline.
+
+This is the layer both entry points share: ``repro campaign`` drives it
+from the CLI and ``benchmarks/_shared.py`` drives it from the bench
+suite, so the Table 3/4/5 reproductions are *defined* by the manifests in
+``campaigns/`` rather than duplicated in scripts.  All grids of a
+campaign run against one :class:`~repro.analysis.sweep.ProfileCache`
+(same placement draws, shared route table), which makes the records
+identical to calling :func:`~repro.analysis.sweep.sweep_system` directly
+with the same arguments.
+
+Example::
+
+    >>> from repro.cli.manifest import manifest_from_dict
+    >>> m = manifest_from_dict({
+    ...     "campaign": {"name": "tiny", "system": "lumi"},
+    ...     "grid": [{"collectives": ["bcast"], "node_counts": [16],
+    ...               "vector_bytes": [1024], "algorithms": ["bine"]}],
+    ... })
+    >>> result = run_campaign(m)
+    >>> [(r.algorithm, r.p) for r in result.records]
+    [('bine', 16)]
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.analysis.summarize import DuelSummary, family_duel
+from repro.analysis.sweep import ProfileCache, SweepRecord, sweep_system
+from repro.cli.manifest import CampaignManifest
+from repro.systems import system_for
+
+__all__ = ["CampaignResult", "run_campaign", "duel_summaries"]
+
+
+def duel_summaries(
+    records, collectives, family: str, baseline_for
+) -> tuple[list[DuelSummary], list[str]]:
+    """Family duels per collective, plus the ones with no comparable cells.
+
+    The single summary loop behind both ``repro sweep --format summary``
+    and a manifest's ``[summary]`` section: ``baseline_for(collective)``
+    names the opposing family (constant for the CLI, per-collective
+    overrides for manifests).
+
+    Example::
+
+        >>> duel_summaries([], ("bcast",), "bine", lambda c: "binomial")
+        ([], ['bcast'])
+    """
+    duels: list[DuelSummary] = []
+    skipped: list[str] = []
+    for coll in collectives:
+        try:
+            duels.append(family_duel(records, coll, family, baseline_for(coll)))
+        except ValueError:
+            skipped.append(coll)  # no cell has both families
+    return duels, skipped
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced: records plus optional duel rows."""
+
+    manifest: CampaignManifest
+    records: list[SweepRecord]
+    summaries: list[DuelSummary] = field(default_factory=list)
+    #: collectives the summary skipped for lack of comparable cells
+    skipped: list[str] = field(default_factory=list)
+
+
+def run_campaign(
+    manifest: CampaignManifest,
+    *,
+    workers: int | None = None,
+    disk_dir: str | os.PathLike | None = None,
+    cache: ProfileCache | None = None,
+) -> CampaignResult:
+    """Run every grid of ``manifest`` and, if requested, summarise.
+
+    ``workers`` and ``disk_dir`` are execution knobs, not campaign
+    identity: any combination yields record-for-record identical output
+    (parallel shards pre-sample placements in serial order; warm disk
+    caches replay the cold run's profiles).  An explicit ``cache``
+    overrides the manifest's placement context — the bench suite uses
+    this to share one cache across benches.
+
+    Example::
+
+        >>> from repro.cli.manifest import load_manifest
+        >>> result = run_campaign(load_manifest("campaigns/table3_lumi.toml"),
+        ...                       workers=8)  # doctest: +SKIP
+        >>> len(result.summaries)  # doctest: +SKIP
+        8
+    """
+    preset = system_for(manifest.system)
+    if cache is None:
+        cache = ProfileCache(
+            preset,
+            placement=manifest.placement,
+            seed=manifest.seed,
+            busy_fraction=manifest.busy_fraction,
+            disk_dir=disk_dir,
+        )
+    records: list[SweepRecord] = []
+    for grid in manifest.grids:
+        records.extend(
+            sweep_system(
+                preset,
+                grid.collectives,
+                node_counts=grid.node_counts,
+                vector_bytes=grid.vector_bytes,
+                algorithms=grid.algorithms,
+                max_p=grid.max_p,
+                ppn=grid.ppn,
+                cache=cache,
+                workers=workers,
+            )
+        )
+    result = CampaignResult(manifest, records)
+    if manifest.summary is not None:
+        result.summaries, result.skipped = duel_summaries(
+            records,
+            manifest.collectives(),
+            manifest.summary.family,
+            manifest.summary.baseline_for,
+        )
+    return result

@@ -1,0 +1,323 @@
+"""Implementations behind the ``repro`` subcommands.
+
+Each ``cmd_*`` takes the parsed :mod:`argparse` namespace and returns a
+process exit code; :mod:`repro.cli.main` owns the argument wiring.  All
+output rendering lives in :mod:`repro.cli.formatters` so the same tables
+serve files (``--output``) and stdout.
+
+Example::
+
+    >>> from repro.cli import main
+    >>> main(["schedule", "bcast", "bine", "-p", "8"])  # doctest: +SKIP
+    0
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.sweep import ProfileCache, sweep_system
+from repro.cli import formatters as fmt
+from repro.cli.campaign import duel_summaries, run_campaign
+from repro.cli.manifest import ManifestError, load_manifest
+from repro.collectives.registry import COLLECTIVES, build, families, iter_specs
+from repro.runtime.schedule import validation_enabled
+from repro.systems import ALL_SYSTEMS, system_for
+
+__all__ = ["cmd_list", "cmd_schedule", "cmd_sweep", "cmd_bench", "cmd_campaign"]
+
+
+def _emit(text: str, output: str | None) -> None:
+    if output:
+        Path(output).write_text(text + "\n")
+        print(f"wrote {output}")
+    else:
+        print(text)
+
+
+def _fail(message: str) -> int:
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
+# -- repro list --------------------------------------------------------------
+
+
+def cmd_list(args) -> int:
+    """``repro list`` — registry catalog as text, Markdown, or JSON.
+
+    Example::
+
+        $ repro list --collective allreduce
+        $ repro list --markdown > docs/algorithms.md
+    """
+    if args.collective and args.collective not in COLLECTIVES:
+        return _fail(
+            f"unknown collective {args.collective!r}; have {list(COLLECTIVES)}"
+        )
+    if args.family and args.family not in families():
+        return _fail(f"unknown family {args.family!r}; have {families()}")
+    if args.markdown:
+        if args.collective or args.family:
+            return _fail(
+                "--markdown renders the full docs/algorithms.md catalog and "
+                "does not combine with --collective/--family"
+            )
+        text = fmt.algorithms_markdown()
+    elif args.json:
+        import json
+
+        text = json.dumps(
+            fmt.catalog_dict(args.collective, args.family), indent=2
+        )
+    else:
+        header = (
+            f"systems: {', '.join(sorted(ALL_SYSTEMS))}\n"
+            f"collectives: {', '.join(COLLECTIVES)}\n"
+            f"families: {', '.join(families())}\n"
+        )
+        text = header + "\n" + fmt.algorithms_text(args.collective, args.family)
+    _emit(text, args.output)
+    return 0
+
+
+# -- repro schedule ----------------------------------------------------------
+
+
+def cmd_schedule(args) -> int:
+    """``repro schedule`` — build, validate, pretty-print one schedule.
+
+    Example::
+
+        $ repro schedule allreduce bine-rsag -p 16 --verify
+    """
+    n = args.elems if args.elems is not None else args.ranks
+    try:
+        schedule = build(
+            args.collective, args.algorithm, args.ranks, n, args.root, args.op
+        )
+    except KeyError as exc:
+        return _fail(str(exc.args[0]))
+    except ValueError as exc:
+        return _fail(
+            f"cannot build {args.collective}/{args.algorithm} "
+            f"at p={args.ranks}, n={n}: {exc}"
+        )
+    lines = [
+        fmt.schedule_report(
+            schedule,
+            args.collective,
+            args.algorithm,
+            max_steps=args.max_steps,
+            max_transfers=args.max_transfers,
+        )
+    ]
+    lines.append(
+        "validation: on" if validation_enabled() else "validation: off (REPRO_VALIDATE)"
+    )
+    if args.verify:
+        from repro.collectives.verify import run_and_check
+
+        try:
+            run_and_check(schedule, seed=42)
+        except AssertionError as exc:
+            print("\n".join(lines))
+            return _fail(f"verification FAILED: {exc}")
+        lines.append("verify: executor output matches NumPy ground truth")
+    _emit("\n".join(lines), args.output)
+    return 0
+
+
+# -- repro sweep -------------------------------------------------------------
+
+
+def _render_records(records, fmt_name: str) -> str:
+    return {
+        "table": fmt.records_table,
+        "json": fmt.records_json,
+        "csv": fmt.records_csv,
+        "markdown": fmt.records_markdown,
+    }[fmt_name](records)
+
+
+def _duel_text(records, collectives, family: str, baseline_for) -> str:
+    duels, skipped = duel_summaries(records, collectives, family, baseline_for)
+    parts = []
+    if duels:
+        parts.append(fmt.summaries_text(duels))
+    if skipped:
+        parts.append(
+            f"(no comparable {family}-vs-baseline cells for: {', '.join(skipped)})"
+        )
+    return "\n".join(parts) if parts else "no records"
+
+
+def cmd_sweep(args) -> int:
+    """``repro sweep`` — one grid over a system, any output format.
+
+    Example::
+
+        $ repro sweep --system lumi --collective allreduce \\
+              --nodes 16,64 --format csv --output allreduce.csv
+    """
+    try:
+        preset = system_for(args.system)
+    except KeyError as exc:
+        return _fail(str(exc.args[0]))
+    collectives = tuple(args.collective) if args.collective else COLLECTIVES
+    bad = [c for c in collectives if c not in COLLECTIVES]
+    if bad:
+        return _fail(f"unknown collective(s) {bad}; have {list(COLLECTIVES)}")
+    if args.algorithm:
+        known = {s.name for c in collectives for s in iter_specs(c)}
+        bad = [a for a in args.algorithm if a not in known]
+        if bad:
+            return _fail(
+                f"unknown algorithm(s) {bad} for collectives "
+                f"{list(collectives)}; have {sorted(known)}"
+            )
+    cache = ProfileCache(
+        preset,
+        placement=args.placement,
+        seed=args.seed,
+        busy_fraction=args.busy_fraction,
+        disk_dir=args.disk_cache,
+    )
+    records = sweep_system(
+        preset,
+        collectives,
+        node_counts=args.nodes,
+        vector_bytes=args.sizes,
+        algorithms=args.algorithm or None,
+        ppn=args.ppn,
+        cache=cache,
+        workers=args.workers,
+    )
+    print(
+        f"# {args.system}: {len(records)} records "
+        f"({len(collectives)} collectives)",
+        file=sys.stderr,
+    )
+    if args.format == "summary":
+        text = _duel_text(
+            records, collectives, args.family, lambda _: args.baseline
+        )
+    elif args.format == "summary-json":
+        duels, _ = duel_summaries(
+            records, collectives, args.family, lambda _: args.baseline
+        )
+        text = fmt.summaries_json(duels)
+    else:
+        text = _render_records(records, args.format)
+    _emit(text, args.output)
+    return 0
+
+
+# -- repro bench -------------------------------------------------------------
+
+
+def _benchmarks_dir() -> Path | None:
+    """The bench-script directory: CWD first, then the source checkout."""
+    import repro
+
+    roots = [Path.cwd()]
+    if getattr(repro, "__file__", None):
+        roots.append(Path(repro.__file__).resolve().parents[2])
+    for root in roots:
+        cand = root / "benchmarks"
+        if cand.is_dir() and list(cand.glob("bench_*.py")):
+            return cand
+    return None
+
+
+def _bench_doc(path: Path) -> str:
+    try:
+        doc = ast.get_docstring(ast.parse(path.read_text())) or ""
+    except SyntaxError:
+        doc = ""
+    return doc.splitlines()[0] if doc else ""
+
+
+def cmd_bench(args) -> int:
+    """``repro bench`` — discover and run ``benchmarks/bench_*.py``.
+
+    Example::
+
+        $ repro bench --list
+        $ repro bench table3 fig09
+    """
+    bench_dir = _benchmarks_dir()
+    if bench_dir is None:
+        return _fail(
+            "no benchmarks/ directory found (run from a source checkout)"
+        )
+    scripts = sorted(bench_dir.glob("bench_*.py"))
+    if args.patterns:
+        scripts = [
+            s for s in scripts if any(pat in s.stem for pat in args.patterns)
+        ]
+        if not scripts:
+            return _fail(f"no bench script matches {args.patterns}")
+    if args.list:
+        width = max(len(s.stem) for s in scripts)
+        for s in scripts:
+            print(f"{s.stem:<{width}}  {_bench_doc(s)}")
+        return 0
+    repo_root = bench_dir.parent
+    env = dict(os.environ)
+    src = str(repo_root / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    cmd = [sys.executable, "-m", "pytest", "-q"] + [
+        str(s.relative_to(repo_root)) for s in scripts
+    ]
+    print(f"$ {' '.join(cmd)}  (cwd={repo_root})", file=sys.stderr)
+    proc = subprocess.run(cmd, cwd=repo_root, env=env)
+    return proc.returncode
+
+
+# -- repro campaign ----------------------------------------------------------
+
+
+def cmd_campaign(args) -> int:
+    """``repro campaign`` — run a TOML/JSON manifest end to end.
+
+    Example::
+
+        $ repro campaign campaigns/table3_lumi.toml --workers 8
+    """
+    try:
+        manifest = load_manifest(args.manifest)
+    except (ManifestError, FileNotFoundError) as exc:
+        return _fail(str(exc))
+    result = run_campaign(
+        manifest, workers=args.workers, disk_dir=args.disk_cache
+    )
+    cells = len({r.key for r in result.records})
+    print(
+        f"# campaign {manifest.name!r} on {manifest.system}: "
+        f"{len(result.records)} records, {cells} cells",
+        file=sys.stderr,
+    )
+    if args.format == "summary":
+        caption = manifest.description or manifest.name
+        if result.summaries:
+            text = fmt.summaries_text(result.summaries, caption)
+        else:
+            text = (
+                f"{caption}\n(no duel summary in manifest; "
+                "use --format json/csv/markdown for records)"
+            )
+        if result.skipped:
+            text += f"\n(skipped, no comparable cells: {', '.join(result.skipped)})"
+    elif args.format == "summary-json":
+        text = fmt.summaries_json(result.summaries)
+    else:
+        text = _render_records(result.records, args.format)
+    _emit(text, args.output)
+    return 0

@@ -1,0 +1,330 @@
+"""Renderers turning library objects into CLI output.
+
+Everything here is a pure function from data to ``str`` so every
+subcommand (and the doc-freshness test) shares one source of truth:
+``docs/algorithms.md`` *is* :func:`algorithms_markdown`, and the JSON/CSV
+views of a sweep are the same rows in a different syntax
+(:data:`repro.analysis.sweep.RECORD_FIELDS` fixes the column order).
+
+Example::
+
+    >>> from repro.analysis.sweep import SweepRecord
+    >>> r = SweepRecord("lumi", "bcast", "bine", "bine", 16, 32, 1e-6, 64.0)
+    >>> print(records_csv([r]).splitlines()[0])
+    system,collective,algorithm,family,p,n_bytes,time,global_bytes
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Sequence
+
+from repro.analysis.heatmap import human_bytes
+from repro.analysis.summarize import DuelSummary, format_duel_table
+from repro.analysis.sweep import RECORD_FIELDS, SweepRecord
+from repro.collectives.registry import COLLECTIVES, families, iter_specs
+from repro.runtime.schedule import Schedule, Transfer
+from repro.systems import ALL_SYSTEMS
+
+__all__ = [
+    "records_json",
+    "records_csv",
+    "records_markdown",
+    "records_table",
+    "summaries_json",
+    "summaries_text",
+    "schedule_report",
+    "algorithms_text",
+    "algorithms_markdown",
+    "catalog_dict",
+]
+
+
+# -- sweep records -----------------------------------------------------------
+
+
+def records_json(records: Sequence[SweepRecord]) -> str:
+    """Records as a JSON array of objects (keys in column order).
+
+    Example::
+
+        >>> records_json([])
+        '[]'
+    """
+    return json.dumps([r.to_dict() for r in records], indent=2)
+
+
+def records_csv(records: Sequence[SweepRecord]) -> str:
+    """Records as CSV with a header row, ready for pandas/gnuplot."""
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=RECORD_FIELDS, lineterminator="\n")
+    writer.writeheader()
+    for r in records:
+        writer.writerow(r.to_dict())
+    return buf.getvalue().rstrip("\n")
+
+
+def records_markdown(records: Sequence[SweepRecord]) -> str:
+    """Records as a GitHub-flavoured Markdown table.
+
+    Example::
+
+        >>> records_markdown([]).splitlines()[0].startswith("| system |")
+        True
+    """
+    lines = [
+        "| " + " | ".join(RECORD_FIELDS) + " |",
+        "|" + "---|" * len(RECORD_FIELDS),
+    ]
+    for r in records:
+        d = r.to_dict()
+        d["time"] = f"{d['time']:.6g}"
+        d["global_bytes"] = f"{d['global_bytes']:.6g}"
+        lines.append("| " + " | ".join(str(d[f]) for f in RECORD_FIELDS) + " |")
+    return "\n".join(lines)
+
+
+def records_table(records: Sequence[SweepRecord]) -> str:
+    """Records as an aligned plain-text table (human consumption).
+
+    Example::
+
+        >>> records_table([]).splitlines()[0].split()[:2]
+        ['collective', 'algorithm']
+    """
+    hdr = (
+        f"{'collective':<15}{'algorithm':<26}{'family':<10}"
+        f"{'p':>6}{'size':>9}{'time':>12}{'glob.bytes':>12}"
+    )
+    lines = [hdr, "-" * len(hdr)]
+    for r in records:
+        lines.append(
+            f"{r.collective:<15}{r.algorithm:<26}{r.family:<10}"
+            f"{r.p:>6}{human_bytes(r.n_bytes):>9}"
+            f"{r.time:>12.3e}{r.global_bytes:>12.3e}"
+        )
+    return "\n".join(lines)
+
+
+# -- duel summaries ----------------------------------------------------------
+
+
+def summaries_json(duels: Sequence[DuelSummary]) -> str:
+    """Duel summaries (one Table 3/4/5 row per collective) as JSON.
+
+    Example::
+
+        >>> summaries_json([])
+        '[]'
+    """
+    return json.dumps([d.to_dict() for d in duels], indent=2)
+
+
+def summaries_text(duels: Sequence[DuelSummary], caption: str = "") -> str:
+    """The paper-style duel table, optionally captioned.
+
+    Example::
+
+        >>> summaries_text([], caption="Table 3").splitlines()[0]
+        'Table 3'
+    """
+    text = format_duel_table(duels)
+    return f"{caption}\n{text}" if caption else text
+
+
+# -- schedules ---------------------------------------------------------------
+
+
+def _segments(buf: str, segs) -> str:
+    body = ",".join(f"{lo}:{hi}" for lo, hi in segs)
+    return f"{buf}[{body}]"
+
+
+def _transfer_line(t: Transfer) -> str:
+    op = f" (op={t.op})" if t.op else ""
+    tag = f"  #{t.tag}" if t.tag else ""
+    return (
+        f"    {t.src:>5} -> {t.dst:<5} "
+        f"{_segments(t.src_buf, t.src_segments)} -> "
+        f"{_segments(t.dst_buf, t.dst_segments)}{op}{tag}"
+    )
+
+
+def schedule_report(
+    schedule: Schedule,
+    collective: str,
+    algorithm: str,
+    max_steps: int = 12,
+    max_transfers: int = 4,
+) -> str:
+    """Pretty-print one schedule: meta, per-step transfer digest.
+
+    ``max_steps`` / ``max_transfers`` truncate the listing (a 1024-rank
+    butterfly has thousands of transfers); truncation is always announced.
+
+    Example::
+
+        >>> from repro.collectives.registry import build
+        >>> print(schedule_report(build("bcast", "bine", 4, 4),
+        ...                       "bcast", "bine").splitlines()[0])
+        schedule bcast/bine: p=4, 2 steps, 12 elements on the wire
+    """
+    lines = [
+        f"schedule {collective}/{algorithm}: p={schedule.p}, "
+        f"{schedule.num_steps} steps, "
+        f"{schedule.total_comm_elems()} elements on the wire"
+    ]
+    meta = {k: v for k, v in schedule.meta.items()}
+    if meta:
+        lines.append(f"meta: {meta}")
+    lines.append(
+        f"max per-rank send volume: {schedule.max_rank_send_elems()} elements"
+    )
+    for i, step in enumerate(schedule.steps):
+        if i == max_steps:
+            lines.append(f"... ({schedule.num_steps - max_steps} more steps)")
+            break
+        label = f" [{step.label}]" if step.label else ""
+        segs = max((t.num_segments for t in step.transfers), default=0)
+        lines.append(
+            f"step {i}{label}: {len(step.transfers)} transfers, "
+            f"{len(step.pre)} pre / {len(step.post)} post copies, "
+            f"max {segs} wire segments"
+        )
+        for j, t in enumerate(step.transfers):
+            if j == max_transfers:
+                lines.append(
+                    f"    ... ({len(step.transfers) - max_transfers} more)"
+                )
+                break
+            lines.append(_transfer_line(t))
+    return "\n".join(lines)
+
+
+# -- registry catalog --------------------------------------------------------
+
+
+def _system_rows() -> list[dict]:
+    rows = []
+    for name in sorted(ALL_SYSTEMS):
+        preset = ALL_SYSTEMS[name]()
+        topo = preset.build_topology()
+        rows.append(
+            {
+                "system": name,
+                "topology": type(topo).__name__,
+                "nodes": topo.num_nodes,
+                "groups": topo.num_groups,
+                "node_counts": list(preset.node_counts),
+                "notes": preset.notes,
+            }
+        )
+    return rows
+
+
+def catalog_dict(
+    collective: str | None = None, family: str | None = None
+) -> dict:
+    """The registry as one JSON-ready dict (``repro list --json``).
+
+    ``collective``/``family`` filter the ``algorithms`` entry; the
+    systems/collectives/families inventory always shows the full space.
+
+    Example::
+
+        >>> sorted(catalog_dict())
+        ['algorithms', 'collectives', 'families', 'systems']
+        >>> {a["collective"] for a in catalog_dict("alltoall")["algorithms"]}
+        {'alltoall'}
+    """
+    return {
+        "systems": _system_rows(),
+        "collectives": list(COLLECTIVES),
+        "families": families(),
+        "algorithms": [
+            {
+                "collective": s.collective,
+                "name": s.name,
+                "family": s.family,
+                "constraints": list(s.constraints),
+                "description": s.description,
+            }
+            for s in iter_specs(collective, family)
+        ],
+    }
+
+
+def algorithms_text(
+    collective: str | None = None, family: str | None = None
+) -> str:
+    """Grouped plain-text catalog (default ``repro list`` output).
+
+    Example::
+
+        >>> algorithms_text("alltoall").splitlines()[0]
+        'alltoall:'
+    """
+    specs = iter_specs(collective, family)
+    if not specs:
+        return "no matching algorithms"
+    lines: list[str] = []
+    current = None
+    for s in specs:
+        if s.collective != current:
+            if current is not None:
+                lines.append("")
+            current = s.collective
+            lines.append(f"{s.collective}:")
+        cons = f"  [{'; '.join(s.constraints)}]" if s.constraints else ""
+        lines.append(f"  {s.name:<24} {s.family:<9} {s.description}{cons}")
+    return "\n".join(lines)
+
+
+def algorithms_markdown() -> str:
+    """The full Markdown catalog — the exact content of ``docs/algorithms.md``.
+
+    Generated artifact: regenerate with
+    ``python -m repro list --markdown > docs/algorithms.md``; the
+    doc-freshness test (``tests/test_docs.py``) fails when the committed
+    copy drifts from this function's output.
+    """
+    specs = iter_specs()
+    lines = [
+        "# Algorithm catalog",
+        "",
+        "<!-- GENERATED FILE — do not edit by hand.",
+        "     Regenerate with: python -m repro list --markdown > docs/algorithms.md -->",
+        "",
+        f"{len(specs)} registered algorithms across {len(COLLECTIVES)} "
+        f"collectives, grouped by family "
+        f"({', '.join(f'`{f}`' for f in families())}).",
+        "Families feed the paper's \"Bine vs binomial\" (Tables 3–5) and "
+        "\"Bine vs best state-of-the-art\" (Figs. 9–11) summaries.",
+        "",
+        "## Systems",
+        "",
+        "| System | Topology | Nodes | Groups | Node counts swept | Notes |",
+        "|---|---|---:|---:|---|---|",
+    ]
+    for row in _system_rows():
+        counts = ", ".join(str(c) for c in row["node_counts"])
+        lines.append(
+            f"| `{row['system']}` | {row['topology']} | {row['nodes']} "
+            f"| {row['groups']} | {counts} | {row['notes']} |"
+        )
+    for coll in COLLECTIVES:
+        lines += [
+            "",
+            f"## {coll}",
+            "",
+            "| Algorithm | Family | Constraints | Description |",
+            "|---|---|---|---|",
+        ]
+        for s in iter_specs(coll):
+            cons = "; ".join(s.constraints) if s.constraints else "—"
+            lines.append(
+                f"| `{s.name}` | {s.family} | {cons} | {s.description} |"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,196 @@
+"""Argument wiring for the ``repro`` CLI.
+
+:func:`main` builds the parser, dispatches to :mod:`repro.cli.commands`,
+and returns a process exit code (0 success, 2 usage/domain error, bench
+runs pass through pytest's code).  Install exposes it as the ``repro``
+console script; ``python -m repro`` reaches it via :mod:`repro.__main__`.
+
+Example::
+
+    >>> main(["list", "--json", "--output", "/tmp/catalog.json"])  # doctest: +SKIP
+    0
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cli import commands
+
+__all__ = ["main", "build_parser"]
+
+
+def _int_list(text: str) -> tuple[int, ...]:
+    """Parse ``16,64,256`` into a tuple of ints (argparse type)."""
+    try:
+        values = tuple(int(x) for x in text.split(",") if x)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}"
+        ) from None
+    if not values:
+        raise argparse.ArgumentTypeError("expected at least one integer")
+    return values
+
+
+def _add_output(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "-o", "--output", metavar="FILE",
+        help="write the result here instead of stdout",
+    )
+
+
+def _add_execution_knobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, metavar="N",
+        help="shard (collective, p) cells over N worker processes; "
+        "records are identical to a serial run",
+    )
+    parser.add_argument(
+        "--disk-cache", metavar="DIR",
+        help="persist schedule profiles under DIR across runs "
+        "(delete DIR to force a cold rebuild)",
+    )
+
+
+def _add_record_format(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--format",
+        choices=("summary", "summary-json", "table", "json", "csv", "markdown"),
+        default="summary",
+        help="summary: paper-style duel table (summary-json: same rows as "
+        "JSON); table: aligned records; json/csv/markdown: machine-readable "
+        "records (default: summary)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full ``repro`` argument parser (exposed for docs and tests).
+
+    Example::
+
+        >>> build_parser().parse_args(["schedule", "bcast", "bine"]).ranks
+        16
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Drive the Bine-trees reproduction: inspect the algorithm "
+        "registry, build schedules, run sweeps and paper campaigns.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True, metavar="COMMAND")
+
+    # list
+    p = sub.add_parser(
+        "list",
+        help="catalog of systems, collectives and registered algorithms",
+        description="Print the registry catalog. --markdown emits the exact "
+        "content of docs/algorithms.md; --json a machine-readable catalog.",
+    )
+    p.add_argument("--collective", help="only this collective (e.g. allreduce)")
+    p.add_argument("--family", help="only this family (e.g. bine)")
+    mode = p.add_mutually_exclusive_group()
+    mode.add_argument("--markdown", action="store_true",
+                      help="full Markdown catalog (docs/algorithms.md)")
+    mode.add_argument("--json", action="store_true",
+                      help="JSON catalog for tooling")
+    _add_output(p)
+    p.set_defaults(func=commands.cmd_list)
+
+    # schedule
+    p = sub.add_parser(
+        "schedule",
+        help="build + validate + pretty-print one collective schedule",
+        description="Build one schedule from the registry (validation on by "
+        "default; REPRO_VALIDATE=0 disables) and print a step-by-step digest.",
+    )
+    p.add_argument("collective", help="e.g. allreduce (see `repro list`)")
+    p.add_argument("algorithm", help="e.g. bine-rsag (see `repro list`)")
+    p.add_argument("-p", "--ranks", type=int, default=16,
+                   help="number of ranks (default: 16)")
+    p.add_argument("-n", "--elems", type=int,
+                   help="vector elements per rank (default: same as --ranks)")
+    p.add_argument("--root", type=int, default=0,
+                   help="root rank for rooted collectives (default: 0)")
+    p.add_argument("--op", default="sum",
+                   help="reduction op for reducing collectives (default: sum)")
+    p.add_argument("--verify", action="store_true",
+                   help="execute on NumPy buffers and check the ground truth")
+    p.add_argument("--max-steps", type=int, default=12,
+                   help="steps to print before truncating (default: 12)")
+    p.add_argument("--max-transfers", type=int, default=4,
+                   help="transfers per step to print (default: 4)")
+    _add_output(p)
+    p.set_defaults(func=commands.cmd_schedule)
+
+    # sweep
+    p = sub.add_parser(
+        "sweep",
+        help="evaluate algorithms over one (nodes x sizes) grid of a system",
+        description="Wrap sweep_system: profile every applicable algorithm "
+        "once per (collective, p), evaluate at every vector size, and render "
+        "records or the paper-style duel summary.",
+    )
+    p.add_argument("--system", required=True,
+                   help="system preset: lumi, leonardo, marenostrum5, fugaku")
+    p.add_argument("--collective", action="append", metavar="NAME",
+                   help="collective to sweep (repeatable; default: all eight)")
+    p.add_argument("--algorithm", action="append", metavar="NAME",
+                   help="restrict to these algorithm names (repeatable)")
+    p.add_argument("--nodes", type=_int_list, metavar="P1,P2,...",
+                   help="rank counts (default: the system preset's grid)")
+    p.add_argument("--sizes", type=_int_list, metavar="B1,B2,...",
+                   help="vector sizes in bytes (default: 32B...512MiB)")
+    p.add_argument("--placement", choices=("scheduler", "block"),
+                   default="scheduler",
+                   help="scheduler: sampled fragmented allocation (paper); "
+                   "block: idealised group-aligned mapping")
+    p.add_argument("--seed", type=int, default=7,
+                   help="allocation-sampler seed (default: 7)")
+    p.add_argument("--busy-fraction", type=float, default=0.55,
+                   help="sampler load factor (default: 0.55)")
+    p.add_argument("--ppn", type=int, default=1,
+                   help="ranks per node (default: 1)")
+    p.add_argument("--family", default="bine",
+                   help="summary: family whose wins are counted (default: bine)")
+    p.add_argument("--baseline", default="binomial",
+                   help="summary: family to duel against (default: binomial)")
+    _add_execution_knobs(p)
+    _add_record_format(p)
+    _add_output(p)
+    p.set_defaults(func=commands.cmd_sweep)
+
+    # bench
+    p = sub.add_parser(
+        "bench",
+        help="discover and run the benchmarks/bench_*.py paper scripts",
+        description="Run reproduction scripts via pytest in a subprocess. "
+        "Patterns select scripts by filename substring (e.g. 'table3', "
+        "'fig09').",
+    )
+    p.add_argument("patterns", nargs="*",
+                   help="substring filters on bench script names")
+    p.add_argument("--list", action="store_true",
+                   help="list matching scripts instead of running them")
+    p.set_defaults(func=commands.cmd_bench)
+
+    # campaign
+    p = sub.add_parser(
+        "campaign",
+        help="run a declarative TOML/JSON campaign manifest",
+        description="Run every grid of a campaign manifest against one "
+        "shared profile cache (see campaigns/*.toml for the Table 3/4/5 "
+        "reproductions).",
+    )
+    p.add_argument("manifest", help="path to a .toml or .json manifest")
+    _add_execution_knobs(p)
+    _add_record_format(p)
+    _add_output(p)
+    p.set_defaults(func=commands.cmd_campaign)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``repro`` / ``python -m repro``; returns exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)

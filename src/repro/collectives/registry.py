@@ -53,7 +53,16 @@ from repro.collectives.tree_collectives import (
 )
 from repro.runtime.schedule import Schedule
 
-__all__ = ["AlgorithmSpec", "ALGORITHMS", "build", "algorithms_for", "COLLECTIVES"]
+__all__ = [
+    "AlgorithmSpec",
+    "ALGORITHMS",
+    "build",
+    "algorithms_for",
+    "COLLECTIVES",
+    "spec_for",
+    "iter_specs",
+    "families",
+]
 
 COLLECTIVES = (
     "bcast",
@@ -83,6 +92,23 @@ class AlgorithmSpec:
     def build(self, p: int, n: int, root: int = 0, op: str = "sum") -> Schedule:
         return self.builder(p, n, root, op)
 
+    @property
+    def constraints(self) -> tuple[str, ...]:
+        """Human-readable applicability constraints, for catalogs and CLIs.
+
+        >>> from repro.collectives.registry import spec_for
+        >>> spec_for("allreduce", "bine-rsag").constraints
+        ('p power of two', 'n divisible by p')
+        """
+        out: list[str] = []
+        if self.pow2_only:
+            out.append("p power of two")
+        if self.needs_divisible:
+            out.append("n divisible by p")
+        if self.max_p is not None:
+            out.append(f"sweeps cap p at {self.max_p}")
+        return tuple(out)
+
 
 ALGORITHMS: dict[tuple[str, str], AlgorithmSpec] = {}
 
@@ -95,20 +121,69 @@ def _register(spec: AlgorithmSpec) -> None:
 
 
 def build(collective: str, name: str, p: int, n: int, root: int = 0, op: str = "sum") -> Schedule:
-    """Build a schedule for a registered algorithm."""
+    """Build a schedule for a registered algorithm.
+
+    >>> from repro.collectives.registry import build
+    >>> build("bcast", "bine", 8, 8).num_steps
+    3
+    """
+    return spec_for(collective, name).build(p, n, root, op)
+
+
+def algorithms_for(collective: str) -> list[str]:
+    """Registered algorithm names for a collective.
+
+    >>> from repro.collectives.registry import algorithms_for
+    >>> "bine" in algorithms_for("bcast")
+    True
+    """
+    return sorted(name for (c, name) in ALGORITHMS if c == collective)
+
+
+def spec_for(collective: str, name: str) -> AlgorithmSpec:
+    """The registered :class:`AlgorithmSpec`, with a helpful lookup error.
+
+    >>> from repro.collectives.registry import spec_for
+    >>> spec_for("allreduce", "ring").family
+    'ring'
+    """
     try:
-        spec = ALGORITHMS[(collective, name)]
+        return ALGORITHMS[(collective, name)]
     except KeyError:
         raise KeyError(
             f"no algorithm {name!r} for {collective!r}; "
             f"have {algorithms_for(collective)}"
         ) from None
-    return spec.build(p, n, root, op)
 
 
-def algorithms_for(collective: str) -> list[str]:
-    """Registered algorithm names for a collective."""
-    return sorted(name for (c, name) in ALGORITHMS if c == collective)
+def iter_specs(
+    collective: str | None = None, family: str | None = None
+) -> list[AlgorithmSpec]:
+    """Registry entries in deterministic ``(collective, name)`` order.
+
+    Both filters are optional; this is the introspection entry point the
+    CLI's ``repro list`` (and the generated algorithm catalog) sit on.
+
+    >>> from repro.collectives.registry import iter_specs
+    >>> [s.name for s in iter_specs("alltoall", family="bine")]
+    ['bine']
+    """
+    return [
+        spec
+        for (coll, _), spec in sorted(ALGORITHMS.items())
+        if (collective is None or coll == collective)
+        and (family is None or spec.family == family)
+    ]
+
+
+def families() -> list[str]:
+    """All algorithm families present in the registry, sorted.
+
+    >>> from repro.collectives.registry import families
+    >>> {"bine", "binomial", "ring"} <= set(families())
+    True
+    """
+    return sorted({spec.family for spec in ALGORITHMS.values()})
 
 
 # --------------------------------------------------------------------------

@@ -1,0 +1,378 @@
+"""End-to-end tests for the ``repro`` CLI on tiny (p ≤ 16) grids.
+
+Every subcommand is exercised through :func:`repro.cli.main` in-process
+(stdout captured with capsys), plus one subprocess test for the
+``python -m repro`` module entry point and one for ``repro bench``'s
+pytest dispatch.  The campaign tests pin the acceptance contract:
+manifest → ``repro campaign`` → records identical to the equivalent
+direct :func:`sweep_system` call, under any ``--workers`` /
+``--disk-cache`` combination.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.sweep import ProfileCache, SweepRecord, sweep_system
+from repro.cli import main
+from repro.cli.manifest import (
+    CampaignManifest,
+    GridSpec,
+    ManifestError,
+    SummarySpec,
+    dump_manifest,
+    load_manifest,
+    manifest_from_dict,
+    manifest_to_dict,
+)
+from repro.systems import lumi
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+TINY_SWEEP = [
+    "sweep", "--system", "lumi", "--collective", "bcast",
+    "--nodes", "16", "--sizes", "1024,65536",
+]
+
+TINY_MANIFEST = {
+    "campaign": {"name": "tiny", "system": "lumi", "description": "tiny grid"},
+    "grid": [
+        {
+            "collectives": ["bcast", "allreduce"],
+            "node_counts": [8, 16],
+            "vector_bytes": [1024, 65536],
+        }
+    ],
+    "summary": {"family": "bine", "baseline": "binomial"},
+}
+
+
+def tiny_direct_records() -> list[SweepRecord]:
+    """The direct sweep_system equivalent of TINY_MANIFEST."""
+    preset = lumi()
+    cache = ProfileCache(preset, placement="scheduler", seed=7, busy_fraction=0.55)
+    return sweep_system(
+        preset,
+        ("bcast", "allreduce"),
+        node_counts=(8, 16),
+        vector_bytes=(1024, 65536),
+        cache=cache,
+    )
+
+
+# -- repro list --------------------------------------------------------------
+
+
+class TestList:
+    def test_text_catalog(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "systems: fugaku, leonardo, lumi, marenostrum5" in out
+        assert "bcast:" in out and "alltoall:" in out
+        assert "bine" in out
+
+    def test_collective_filter(self, capsys):
+        assert main(["list", "--collective", "alltoall"]) == 0
+        out = capsys.readouterr().out
+        assert "alltoall:" in out and "bcast:" not in out
+
+    def test_family_filter(self, capsys):
+        assert main(["list", "--family", "ring"]) == 0
+        out = capsys.readouterr().out
+        assert "ring allreduce" in out and "binomial scatter" not in out
+
+    def test_json_catalog(self, capsys):
+        assert main(["list", "--json"]) == 0
+        catalog = json.loads(capsys.readouterr().out)
+        assert {"systems", "collectives", "families", "algorithms"} <= set(catalog)
+        names = {(a["collective"], a["name"]) for a in catalog["algorithms"]}
+        assert ("allreduce", "bine-rsag") in names
+        assert len(names) >= 40
+
+    def test_markdown_catalog(self, capsys):
+        assert main(["list", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Algorithm catalog")
+        assert "| `bine-rsag` | bine |" in out
+
+    def test_unknown_collective_fails(self, capsys):
+        assert main(["list", "--collective", "bogus"]) == 2
+        assert "unknown collective" in capsys.readouterr().err
+
+    def test_json_respects_filters(self, capsys):
+        assert main(["list", "--json", "--collective", "alltoall"]) == 0
+        catalog = json.loads(capsys.readouterr().out)
+        assert {a["collective"] for a in catalog["algorithms"]} == {"alltoall"}
+
+    def test_markdown_rejects_filters(self, capsys):
+        assert main(["list", "--markdown", "--collective", "bcast"]) == 2
+        assert "full docs/algorithms.md catalog" in capsys.readouterr().err
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "catalog.md"
+        assert main(["list", "--markdown", "--output", str(target)]) == 0
+        assert target.read_text().startswith("# Algorithm catalog")
+
+
+# -- repro schedule ----------------------------------------------------------
+
+
+class TestSchedule:
+    def test_pretty_print(self, capsys):
+        assert main(["schedule", "allreduce", "bine-rsag", "-p", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "schedule allreduce/bine-rsag: p=16" in out
+        assert "step 0" in out and "validation: on" in out
+
+    def test_verify_runs_executor(self, capsys):
+        assert main(["schedule", "bcast", "bine", "-p", "8", "--verify"]) == 0
+        assert "verify: executor output matches" in capsys.readouterr().out
+
+    def test_truncation(self, capsys):
+        assert main(
+            ["schedule", "allgather", "ring", "-p", "16", "--max-steps", "2"]
+        ) == 0
+        assert "more steps" in capsys.readouterr().out
+
+    def test_unknown_algorithm_fails(self, capsys):
+        assert main(["schedule", "bcast", "nope", "-p", "8"]) == 2
+        assert "no algorithm" in capsys.readouterr().err
+
+    def test_constraint_violation_fails(self, capsys):
+        # bine bcast is pow2-only; p=12 must fail with a clear message
+        assert main(["schedule", "bcast", "bine", "-p", "12"]) == 2
+        assert "cannot build" in capsys.readouterr().err
+
+
+# -- repro sweep -------------------------------------------------------------
+
+
+class TestSweep:
+    def direct(self) -> list[SweepRecord]:
+        preset = lumi()
+        cache = ProfileCache(
+            preset, placement="scheduler", seed=7, busy_fraction=0.55
+        )
+        return sweep_system(
+            preset, ("bcast",), node_counts=(16,),
+            vector_bytes=(1024, 65536), cache=cache,
+        )
+
+    def test_json_matches_direct_call(self, capsys):
+        assert main(TINY_SWEEP + ["--format", "json"]) == 0
+        got = [SweepRecord.from_dict(d) for d in json.loads(capsys.readouterr().out)]
+        assert got == self.direct()
+
+    def test_csv_shape(self, capsys):
+        assert main(TINY_SWEEP + ["--format", "csv"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("system,collective,algorithm")
+        assert len(lines) == len(self.direct()) + 1
+
+    def test_markdown_shape(self, capsys):
+        assert main(TINY_SWEEP + ["--format", "markdown"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("| system |") or lines[0].startswith("| system")
+        assert len(lines) == len(self.direct()) + 2
+
+    def test_summary_default(self, capsys):
+        assert main(TINY_SWEEP) == 0
+        out = capsys.readouterr().out
+        assert "Coll." in out and "bcast" in out
+
+    def test_workers_identical_to_serial(self, capsys):
+        assert main(TINY_SWEEP + ["--format", "json"]) == 0
+        serial = capsys.readouterr().out
+        assert main(TINY_SWEEP + ["--format", "json", "--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_disk_cache_warm_identical(self, tmp_path, capsys):
+        flags = ["--format", "json", "--disk-cache", str(tmp_path / "c")]
+        assert main(TINY_SWEEP + flags) == 0
+        cold = capsys.readouterr().out
+        assert list((tmp_path / "c").rglob("*.pkl")), "cache not populated"
+        assert main(TINY_SWEEP + flags) == 0
+        assert capsys.readouterr().out == cold
+
+    def test_unknown_system_fails(self, capsys):
+        assert main(["sweep", "--system", "summit"]) == 2
+        assert "unknown system" in capsys.readouterr().err
+
+    def test_unknown_algorithm_fails(self, capsys):
+        assert main(TINY_SWEEP + ["--algorithm", "bien"]) == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_summary_json(self, capsys):
+        assert main(TINY_SWEEP + ["--format", "summary-json"]) == 0
+        duels = json.loads(capsys.readouterr().out)
+        assert duels and duels[0]["collective"] == "bcast"
+        assert "win_pct" in duels[0]
+
+
+# -- repro campaign ----------------------------------------------------------
+
+
+class TestCampaign:
+    def test_manifest_records_identical_to_direct(self, tmp_path, capsys):
+        manifest = tmp_path / "tiny.json"
+        manifest.write_text(json.dumps(TINY_MANIFEST))
+        assert main(["campaign", str(manifest), "--format", "json"]) == 0
+        got = [SweepRecord.from_dict(d) for d in json.loads(capsys.readouterr().out)]
+        assert got == tiny_direct_records()
+
+    def test_toml_json_equivalence(self, tmp_path, capsys):
+        toml = tmp_path / "tiny.toml"
+        toml.write_text(
+            '[campaign]\nname = "tiny"\nsystem = "lumi"\n'
+            "[[grid]]\n"
+            'collectives = ["bcast", "allreduce"]\n'
+            "node_counts = [8, 16]\n"
+            "vector_bytes = [1024, 65536]\n"
+        )
+        assert main(["campaign", str(toml), "--format", "json"]) == 0
+        got = [SweepRecord.from_dict(d) for d in json.loads(capsys.readouterr().out)]
+        assert got == tiny_direct_records()
+
+    def test_workers_and_disk_cache_identical(self, tmp_path, capsys):
+        manifest = tmp_path / "tiny.json"
+        manifest.write_text(json.dumps(TINY_MANIFEST))
+        flags = ["--format", "json", "--workers", "2",
+                 "--disk-cache", str(tmp_path / "cache")]
+        assert main(["campaign", str(manifest)] + flags) == 0
+        first = capsys.readouterr().out
+        assert main(["campaign", str(manifest)] + flags) == 0  # warm
+        assert capsys.readouterr().out == first
+        assert [SweepRecord.from_dict(d) for d in json.loads(first)] == (
+            tiny_direct_records()
+        )
+
+    def test_summary_output(self, tmp_path, capsys):
+        manifest = tmp_path / "tiny.json"
+        manifest.write_text(json.dumps(TINY_MANIFEST))
+        assert main(["campaign", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "tiny grid" in out and "Coll." in out
+
+    def test_summary_json_output(self, tmp_path, capsys):
+        manifest = tmp_path / "tiny.json"
+        manifest.write_text(json.dumps(TINY_MANIFEST))
+        assert main(["campaign", str(manifest), "--format", "summary-json"]) == 0
+        duels = json.loads(capsys.readouterr().out)
+        assert {d["collective"] for d in duels} == {"bcast", "allreduce"}
+
+    def test_missing_manifest_fails(self, capsys):
+        assert main(["campaign", "nope.toml"]) == 2
+
+    def test_invalid_manifest_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"campaign": {"name": "x", "system": "lumi"}}))
+        assert main(["campaign", str(bad)]) == 2
+        assert "[[grid]]" in capsys.readouterr().err
+
+
+class TestManifest:
+    def test_roundtrip(self, tmp_path):
+        manifest = CampaignManifest(
+            name="rt",
+            system="lumi",
+            grids=(
+                GridSpec(
+                    collectives=("bcast",),
+                    node_counts=(16,),
+                    vector_bytes=(1024,),
+                    algorithms=("bine",),
+                    max_p={"bcast": 64},
+                ),
+            ),
+            summary=SummarySpec(baseline_overrides={"alltoall": "bruck"}),
+        )
+        path = tmp_path / "rt.json"
+        dump_manifest(manifest, path)
+        assert load_manifest(path) == manifest
+        assert manifest_from_dict(manifest_to_dict(manifest)) == manifest
+
+    @pytest.mark.parametrize(
+        "mutate, message",
+        [
+            (lambda d: d["campaign"].update(system="summit"), "unknown system"),
+            (lambda d: d["campaign"].update(placement="banana"), "placement"),
+            (lambda d: d.update(extra=1), "unknown key"),
+            (lambda d: d["grid"][0].update(collectives=["bogus"]), "collective"),
+            (lambda d: d["grid"][0].update(collectives=[]), "at least one"),
+            (lambda d: d["grid"][0].update(node_counts=[]), "positive integer"),
+            (lambda d: d["grid"][0].update(node_counts="16"), "got a string"),
+            (lambda d: d["grid"][0].pop("node_counts"), "missing required"),
+            (lambda d: d["grid"][0].update(algorithms=["bien"]), "unknown algorithm"),
+            (lambda d: d["summary"].update(family="bien"), "unknown family"),
+            (lambda d: d["summary"].update(
+                baseline_overrides={"bogus": "bruck"}), "unknown collective"),
+        ],
+    )
+    def test_validation_errors(self, mutate, message):
+        data = json.loads(json.dumps(TINY_MANIFEST))  # deep copy
+        mutate(data)
+        with pytest.raises(ManifestError, match=message):
+            manifest_from_dict(data)
+
+    def test_shipped_manifests_load(self):
+        campaigns = sorted((REPO_ROOT / "campaigns").glob("*.toml"))
+        assert len(campaigns) >= 3
+        systems = set()
+        for path in campaigns:
+            m = load_manifest(path)
+            systems.add(m.system)
+            assert m.grids and m.summary is not None
+            assert m.summary.baseline_for("alltoall") == "bruck"
+        assert {"lumi", "leonardo", "marenostrum5"} <= systems
+
+    def test_paper_vector_keyword(self):
+        data = json.loads(json.dumps(TINY_MANIFEST))
+        data["grid"][0]["vector_bytes"] = "paper"
+        m = manifest_from_dict(data)
+        assert m.grids[0].vector_bytes == tuple(32 * 8**k for k in range(9))
+
+
+# -- repro bench -------------------------------------------------------------
+
+
+class TestBench:
+    def test_list_inventory(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "bench_table3_lumi" in out and "bench_fig01_bcast_traffic" in out
+        assert "Table 3" in out  # docstring first lines shown
+
+    def test_pattern_filter(self, capsys):
+        assert main(["bench", "--list", "table"]) == 0
+        out = capsys.readouterr().out
+        assert "bench_table5_mn5" in out and "bench_fig01" not in out
+
+    def test_no_match_fails(self, capsys):
+        assert main(["bench", "zzz-not-a-bench"]) == 2
+
+    def test_runs_one_bench_via_pytest(self):
+        # cheapest bench: Eq. 2 distance ratios (pure arithmetic)
+        assert main(["bench", "eq02"]) == 0
+
+
+# -- python -m repro ---------------------------------------------------------
+
+
+def test_module_entry_point():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "list", "--collective", "bcast"],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "bcast:" in proc.stdout

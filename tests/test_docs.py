@@ -1,0 +1,102 @@
+"""Documentation freshness checks, wired into tier-1.
+
+Two contracts keep the docs from rotting:
+
+* ``docs/algorithms.md`` must be byte-identical to freshly generated
+  ``repro list --markdown`` output — the catalog can never drift from
+  the registry;
+* every fenced snippet in the README quickstart (``$ repro ...`` console
+  lines and the ``python`` block) must actually run — a doctest-style
+  pass over the documented commands.
+
+Plus light cross-reference checks: every shipped campaign manifest and
+every bench script must be documented in ``docs/reproducing.md``.
+"""
+
+from __future__ import annotations
+
+import re
+import shlex
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.cli.formatters import algorithms_markdown
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+README = REPO_ROOT / "README.md"
+REPRODUCING = REPO_ROOT / "docs" / "reproducing.md"
+
+REGEN_HINT = (
+    "docs/algorithms.md is stale — regenerate with: "
+    "PYTHONPATH=src python -m repro list --markdown > docs/algorithms.md"
+)
+
+
+def fenced_blocks(text: str, language: str) -> list[str]:
+    """Bodies of ```<language> fenced blocks, in order."""
+    return re.findall(rf"```{language}\n(.*?)```", text, flags=re.DOTALL)
+
+
+def test_algorithms_md_is_fresh():
+    committed = (REPO_ROOT / "docs" / "algorithms.md").read_text()
+    assert committed == algorithms_markdown() + "\n", REGEN_HINT
+
+
+def test_readme_console_quickstart_runs(monkeypatch, capsys):
+    """Every ``$ repro ...`` line in README console blocks must exit 0."""
+    monkeypatch.chdir(REPO_ROOT)  # manifest paths are repo-relative
+    commands = [
+        line[len("$ repro "):]
+        for block in fenced_blocks(README.read_text(), "console")
+        for line in block.splitlines()
+        if line.startswith("$ repro ")
+    ]
+    assert commands, "README quickstart lost its `$ repro ...` lines"
+    for command in commands:
+        assert main(shlex.split(command)) == 0, f"README command failed: {command}"
+        capsys.readouterr()  # keep snippet output out of the test log
+
+
+def test_readme_python_snippets_run():
+    blocks = fenced_blocks(README.read_text(), "python")
+    assert blocks, "README lost its python quickstart block"
+    for i, block in enumerate(blocks):
+        exec(compile(block, f"README.md#python-block-{i}", "exec"), {})
+
+
+def test_reproducing_documents_every_campaign_manifest():
+    text = REPRODUCING.read_text()
+    manifests = sorted((REPO_ROOT / "campaigns").glob("*.toml"))
+    assert manifests
+    for manifest in manifests:
+        assert f"campaigns/{manifest.name}" in text, (
+            f"{manifest.name} missing from docs/reproducing.md"
+        )
+
+
+def test_reproducing_documents_every_bench_script():
+    text = REPRODUCING.read_text()
+    tokens = {
+        tok
+        for match in re.findall(r"`repro bench ([a-z0-9_ ]+)`", text)
+        for tok in match.split()
+    }
+    benches = sorted((REPO_ROOT / "benchmarks").glob("bench_*.py"))
+    assert benches
+    undocumented = [
+        b.stem for b in benches if not any(tok in b.stem for tok in tokens)
+    ]
+    assert not undocumented, (
+        f"bench scripts missing from docs/reproducing.md: {undocumented}"
+    )
+
+
+def test_readme_references_exist():
+    """Paths mentioned in README tables/links must exist on disk."""
+    text = README.read_text()
+    for rel in re.findall(r"\]\(([A-Za-z0-9_./-]+\.md)\)", text):
+        assert (REPO_ROOT / rel).exists(), f"README links to missing {rel}"
+    for rel in re.findall(r"campaigns/[a-z0-9_]+\.toml", text):
+        assert (REPO_ROOT / rel).exists(), f"README references missing {rel}"
