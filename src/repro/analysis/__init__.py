@@ -16,8 +16,12 @@ from repro.analysis.summarize import (
     geometric_mean,
 )
 from repro.analysis.sweep import ProfileCache, SweepRecord, sweep_system
+from repro.analysis.verifygrid import VerifyRecord, verify_cell, verify_grid
 
 __all__ = [
+    "VerifyRecord",
+    "verify_cell",
+    "verify_grid",
     "BoxStats",
     "box_stats",
     "format_box_row",

@@ -75,10 +75,10 @@ def clear_memo_caches() -> None:
     """Drop every process-level memoization the sweep pipeline relies on.
 
     Used by cold-start benchmarks (and available to long-lived services that
-    want to bound memory): clears the per-``p`` negabinary/ν/π label tables
-    and the cross-schedule butterfly segment cache.  Per-:class:`ProfileCache`
-    state (route tables, profiles, mappings) is unaffected — drop the cache
-    object itself for that.
+    want to bound memory): clears the per-``p`` negabinary/ν/π label tables,
+    the cross-schedule butterfly segment cache, and the compiled-executor
+    plan cache.  Per-:class:`ProfileCache` state (route tables, profiles,
+    mappings) is unaffected — drop the cache object itself for that.
 
     Example::
 
@@ -87,6 +87,7 @@ def clear_memo_caches() -> None:
     """
     from repro.collectives import butterfly_collectives as _bc
     from repro.collectives import common as _common
+    from repro.collectives.verify import clear_plan_cache
     from repro.core import bine_tree as _bine
     from repro.core import negabinary as _nb
 
@@ -96,6 +97,7 @@ def clear_memo_caches() -> None:
     _common._pi_table.cache_clear()
     _common._pi_inv_table.cache_clear()
     _bc._SEG_CACHE.clear()
+    clear_plan_cache()
 
 #: bump to invalidate every on-disk profile cache entry
 _CACHE_VERSION = 1

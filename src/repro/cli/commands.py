@@ -21,6 +21,7 @@ import sys
 from pathlib import Path
 
 from repro.analysis.sweep import ProfileCache, sweep_system
+from repro.analysis.verifygrid import DEFAULT_NODE_COUNTS, verify_grid
 from repro.cli import formatters as fmt
 from repro.cli.campaign import duel_summaries, run_campaign
 from repro.cli.manifest import ManifestError, load_manifest
@@ -28,7 +29,14 @@ from repro.collectives.registry import COLLECTIVES, build, families, iter_specs
 from repro.runtime.schedule import validation_enabled
 from repro.systems import ALL_SYSTEMS, system_for
 
-__all__ = ["cmd_list", "cmd_schedule", "cmd_sweep", "cmd_bench", "cmd_campaign"]
+__all__ = [
+    "cmd_list",
+    "cmd_schedule",
+    "cmd_sweep",
+    "cmd_verify",
+    "cmd_bench",
+    "cmd_campaign",
+]
 
 
 def _emit(text: str, output: str | None) -> None:
@@ -42,6 +50,22 @@ def _emit(text: str, output: str | None) -> None:
 def _fail(message: str) -> int:
     print(f"error: {message}", file=sys.stderr)
     return 2
+
+
+def _check_grid_selection(collectives, algorithms):
+    """Shared collective/algorithm validation; returns an error string or None."""
+    bad = [c for c in collectives if c not in COLLECTIVES]
+    if bad:
+        return f"unknown collective(s) {bad}; have {list(COLLECTIVES)}"
+    if algorithms:
+        known = {s.name for c in collectives for s in iter_specs(c)}
+        bad = [a for a in algorithms if a not in known]
+        if bad:
+            return (
+                f"unknown algorithm(s) {bad} for collectives "
+                f"{list(collectives)}; have {sorted(known)}"
+            )
+    return None
 
 
 # -- repro list --------------------------------------------------------------
@@ -169,17 +193,9 @@ def cmd_sweep(args) -> int:
     except KeyError as exc:
         return _fail(str(exc.args[0]))
     collectives = tuple(args.collective) if args.collective else COLLECTIVES
-    bad = [c for c in collectives if c not in COLLECTIVES]
-    if bad:
-        return _fail(f"unknown collective(s) {bad}; have {list(COLLECTIVES)}")
-    if args.algorithm:
-        known = {s.name for c in collectives for s in iter_specs(c)}
-        bad = [a for a in args.algorithm if a not in known]
-        if bad:
-            return _fail(
-                f"unknown algorithm(s) {bad} for collectives "
-                f"{list(collectives)}; have {sorted(known)}"
-            )
+    error = _check_grid_selection(collectives, args.algorithm)
+    if error:
+        return _fail(error)
     cache = ProfileCache(
         preset,
         placement=args.placement,
@@ -215,6 +231,55 @@ def cmd_sweep(args) -> int:
         text = _render_records(records, args.format)
     _emit(text, args.output)
     return 0
+
+
+# -- repro verify ------------------------------------------------------------
+
+
+def cmd_verify(args) -> int:
+    """``repro verify`` — bulk-run the executor oracle over a grid.
+
+    Exit codes: 0 all cells ok (or skipped), 1 at least one failure,
+    2 usage error.
+
+    Example::
+
+        $ repro verify --quick
+        $ repro verify --collective allreduce --nodes 64,1024 --engine both
+    """
+    collectives = tuple(args.collective) if args.collective else COLLECTIVES
+    error = _check_grid_selection(collectives, args.algorithm)
+    if error:
+        return _fail(error)
+    if args.elems_per_rank < 1:
+        return _fail("--elems-per-rank must be >= 1")
+    nodes = args.nodes if args.nodes else ((4, 8) if args.quick else DEFAULT_NODE_COUNTS)
+    seeds = args.seeds if args.seeds else ((0,) if args.quick else (0, 1))
+    records = verify_grid(
+        collectives,
+        nodes,
+        elems_per_rank=args.elems_per_rank,
+        seeds=seeds,
+        engine=args.engine,
+        algorithms=args.algorithm or None,
+        workers=args.workers,
+    )
+    counts = {"ok": 0, "failed": 0, "skipped": 0}
+    for r in records:
+        counts[r.status] += 1
+    print(
+        f"# verify [{args.engine}]: {len(records)} cells, {counts['ok']} ok, "
+        f"{counts['failed']} failed, {counts['skipped']} skipped",
+        file=sys.stderr,
+    )
+    text = {
+        "summary": fmt.verify_summary_text,
+        "table": fmt.verify_records_table,
+        "json": fmt.verify_records_json,
+        "markdown": fmt.verify_records_markdown,
+    }[args.format](records)
+    _emit(text, args.output)
+    return 1 if counts["failed"] else 0
 
 
 # -- repro bench -------------------------------------------------------------

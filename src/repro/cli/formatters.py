@@ -24,6 +24,7 @@ from typing import Sequence
 from repro.analysis.heatmap import human_bytes
 from repro.analysis.summarize import DuelSummary, format_duel_table
 from repro.analysis.sweep import RECORD_FIELDS, SweepRecord
+from repro.analysis.verifygrid import VERIFY_FIELDS, VerifyRecord
 from repro.collectives.registry import COLLECTIVES, families, iter_specs
 from repro.runtime.schedule import Schedule, Transfer
 from repro.systems import ALL_SYSTEMS
@@ -35,6 +36,10 @@ __all__ = [
     "records_table",
     "summaries_json",
     "summaries_text",
+    "verify_records_json",
+    "verify_records_markdown",
+    "verify_records_table",
+    "verify_summary_text",
     "schedule_report",
     "algorithms_text",
     "algorithms_markdown",
@@ -132,6 +137,102 @@ def summaries_text(duels: Sequence[DuelSummary], caption: str = "") -> str:
     """
     text = format_duel_table(duels)
     return f"{caption}\n{text}" if caption else text
+
+
+# -- verification records ----------------------------------------------------
+
+
+def verify_records_json(records: Sequence[VerifyRecord]) -> str:
+    """Verification records as a JSON array (keys in column order).
+
+    Example::
+
+        >>> verify_records_json([])
+        '[]'
+    """
+    return json.dumps([r.to_dict() for r in records], indent=2)
+
+
+def verify_records_markdown(records: Sequence[VerifyRecord]) -> str:
+    """Verification records as a GitHub-flavoured Markdown table.
+
+    Example::
+
+        >>> verify_records_markdown([]).splitlines()[0].startswith("| collective |")
+        True
+    """
+    lines = [
+        "| " + " | ".join(VERIFY_FIELDS) + " |",
+        "|" + "---|" * len(VERIFY_FIELDS),
+    ]
+    for r in records:
+        d = r.to_dict()
+        d["elapsed_s"] = f"{d['elapsed_s']:.4g}"
+        lines.append("| " + " | ".join(str(d[f]) for f in VERIFY_FIELDS) + " |")
+    return "\n".join(lines)
+
+
+def verify_records_table(records: Sequence[VerifyRecord]) -> str:
+    """Verification records as an aligned plain-text table.
+
+    Example::
+
+        >>> verify_records_table([]).splitlines()[0].split()[:2]
+        ['collective', 'algorithm']
+    """
+    hdr = (
+        f"{'collective':<15}{'algorithm':<26}{'p':>6}{'n':>8}{'seeds':>6}"
+        f"{'status':>9}{'time':>9}  detail"
+    )
+    lines = [hdr, "-" * len(hdr)]
+    for r in records:
+        lines.append(
+            f"{r.collective:<15}{r.algorithm:<26}{r.p:>6}{r.n:>8}{r.seeds:>6}"
+            f"{r.status:>9}{r.elapsed_s:>8.3f}s  {r.detail}"
+        )
+    return "\n".join(lines)
+
+
+def verify_summary_text(records: Sequence[VerifyRecord]) -> str:
+    """Per-collective ok/failed/skipped roll-up plus every failure's detail.
+
+    Example::
+
+        >>> verify_summary_text([]).splitlines()[-1]
+        'total: 0 cells, 0 ok, 0 failed, 0 skipped (0.0s)'
+    """
+    by_coll: dict[str, dict[str, int]] = {}
+    for r in records:
+        counts = by_coll.setdefault(r.collective, {"ok": 0, "failed": 0, "skipped": 0})
+        counts[r.status] += 1
+    lines = []
+    width = max((len(c) for c in by_coll), default=10)
+    for coll, counts in by_coll.items():
+        cells = sum(counts.values())
+        lines.append(
+            f"{coll:<{width}}  {cells:>4} cells  {counts['ok']:>4} ok  "
+            f"{counts['failed']:>4} failed  {counts['skipped']:>4} skipped"
+        )
+    failures = [r for r in records if r.status == "failed"]
+    if failures:
+        lines.append("")
+        lines.append("failures:")
+        for r in failures:
+            lines.append(
+                f"  {r.collective}/{r.algorithm} p={r.p} n={r.n}: {r.detail}"
+            )
+    totals = {"ok": 0, "failed": 0, "skipped": 0}
+    for r in records:
+        totals[r.status] += 1
+    elapsed = sum(r.elapsed_s for r in records)
+    if lines:
+        lines.append("")
+    lines.append(
+        f"total: {len(records)} cells, {totals['ok']} ok, "
+        f"{totals['failed']} failed, {totals['skipped']} skipped "
+        f"({elapsed:.1f}s)"
+    )
+    return "\n".join(lines)
 
 
 # -- schedules ---------------------------------------------------------------

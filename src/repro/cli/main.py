@@ -159,6 +159,42 @@ def build_parser() -> argparse.ArgumentParser:
     _add_output(p)
     p.set_defaults(func=commands.cmd_sweep)
 
+    # verify
+    p = sub.add_parser(
+        "verify",
+        help="bulk-run the executor oracle over a collective/algorithm grid",
+        description="Execute every registered algorithm's schedule on NumPy "
+        "buffers and check the collective's post-condition, cell by cell. "
+        "The compiled engine batches all seeds through one columnar plan "
+        "per cell; 'both' additionally cross-checks compiled against the "
+        "reference executor bit for bit.  Exit code 1 if any cell fails.",
+    )
+    p.add_argument("--collective", action="append", metavar="NAME",
+                   help="collective to verify (repeatable; default: all eight)")
+    p.add_argument("--algorithm", action="append", metavar="NAME",
+                   help="restrict to these algorithm names (repeatable)")
+    p.add_argument("--nodes", type=_int_list, metavar="P1,P2,...",
+                   help="rank counts (default: 4,8,16,17,32; --quick: 4,8)")
+    p.add_argument("--elems-per-rank", type=int, default=4, metavar="K",
+                   help="vector elements per rank, n = K*p (default: 4)")
+    p.add_argument("--seeds", type=_int_list, metavar="S1,S2,...",
+                   help="input seeds per cell (default: 0,1; --quick: 0)")
+    p.add_argument("--engine", choices=("compiled", "reference", "both"),
+                   default="compiled",
+                   help="compiled: batched columnar plans (default); "
+                   "reference: interpreted executor; both: cross-check")
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke grid: p=4,8 and one seed unless overridden")
+    p.add_argument("--workers", type=int, metavar="N",
+                   help="shard cells over N worker processes")
+    p.add_argument("--format",
+                   choices=("summary", "table", "json", "markdown"),
+                   default="summary",
+                   help="summary: per-collective roll-up (default); "
+                   "table/json/markdown: one row per cell")
+    _add_output(p)
+    p.set_defaults(func=commands.cmd_verify)
+
     # bench
     p = sub.add_parser(
         "bench",

@@ -1,6 +1,13 @@
 """In-process message-passing substrate: schedule IR + deterministic executor."""
 
 from repro.runtime.buffers import RankBuffers
+from repro.runtime.compiled import (
+    BufferLayout,
+    CompiledPlan,
+    compile_plan,
+    matrix_from_buffers,
+    matrix_to_buffers,
+)
 from repro.runtime.errors import (
     BufferMismatchError,
     RuntimeSubstrateError,
@@ -20,6 +27,11 @@ __all__ = [
     "execute",
     "execute_step",
     "ExecutionTrace",
+    "BufferLayout",
+    "CompiledPlan",
+    "compile_plan",
+    "matrix_from_buffers",
+    "matrix_to_buffers",
     "ReduceOp",
     "named_op",
     "SUM",

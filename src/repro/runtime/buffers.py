@@ -71,7 +71,13 @@ class RankBuffers:
 
 
 def gather_segments(buf: np.ndarray, segments) -> np.ndarray:
-    """Concatenate buffer slices for a segment list (the 'pack' step)."""
+    """Concatenate buffer slices for a segment list (the 'pack' step).
+
+    Ownership contract: the result is always a **freshly allocated** array
+    the caller owns — never a view into ``buf`` — so callers may stage it
+    across later writes to ``buf`` without a defensive copy (the executor's
+    sendrecv snapshot relies on this).
+    """
     parts = []
     for lo, hi in segments:
         if hi > buf.shape[0]:
@@ -80,7 +86,9 @@ def gather_segments(buf: np.ndarray, segments) -> np.ndarray:
             )
         parts.append(buf[lo:hi])
     if not parts:
-        return buf[0:0]
+        return np.empty(0, dtype=buf.dtype)
+    if len(parts) == 1:
+        return parts[0].copy()  # np.concatenate would copy too; be explicit
     return np.concatenate(parts)
 
 

@@ -1,0 +1,513 @@
+"""Compiled columnar execution plans — the correctness oracle's fast path.
+
+:func:`compile_plan` lowers a finalized :class:`~repro.runtime.schedule.Schedule`
+*once* into a structure-of-arrays plan: flat ``intp`` index arrays (per-element
+source and destination positions, write-group boundaries, reduce ufunc per
+group) addressing a single 2-D buffer matrix of shape
+``(p, total_buffer_elems)`` in which every named per-rank buffer owns a fixed
+column slice (:class:`BufferLayout`).  Indices are pre-flattened
+(``rank * total + column``), so :meth:`CompiledPlan.execute` replays a step as
+one ``np.take`` gather plus one vectorized scatter (or ``ufunc.at`` when
+reduce destinations genuinely collide) per write group — no per-transfer
+Python, no dict lookups, no ``np.concatenate`` staging — and is bit-identical
+to :func:`repro.runtime.executor.execute` (asserted across the whole registry
+in ``tests/test_compiled_executor.py``).
+
+Semantics preserved exactly:
+
+* **sendrecv snapshot** — each step gathers *every* transfer source before any
+  destination is written, so pairwise exchanges read pre-step values;
+* **write order** — consecutive same-op transfers form one write group;
+  groups apply in transfer order, so a later reduce sees an earlier
+  overwrite's value exactly as the sequential executor would.  Within an
+  overwrite group duplicate destinations keep the *last* write (the reference
+  executor's later-transfer-wins order), made explicit by a compile-time
+  dedup rather than relying on NumPy's fancy-assignment iteration order;
+* **reduce accumulation** — groups whose destinations are pairwise distinct
+  (checked at compile time) reduce via one vectorized
+  ``gather → op → scatter``; colliding groups fall back to ``ufunc.at``,
+  which applies repeated indices one by one in element order — both match
+  the reference's sequential ``buf[lo:hi] = op(buf[lo:hi], chunk)`` loop
+  (exact for the integer dtypes the oracle uses, and the same accumulation
+  order even for floats);
+* **local copies** — ``pre``/``post`` copies run in order; consecutive copies
+  touching pairwise-distinct ranks (and sharing one op) are batched into a
+  single gather/scatter phase, which cannot change results because a local
+  copy only ever reads and writes its own rank.
+
+The payoff is batching: :meth:`CompiledPlan.execute_batch` runs a stack of
+``(seeds, p, total_elems)`` matrices through the same index arrays in one
+pass, so verifying many seeds costs one compile plus a few vectorized ops per
+step (see :func:`repro.collectives.verify.run_and_check_compiled` and the
+``repro verify`` CLI).  Compilation itself is a single linear pass over the
+schedule and is memoized per grid cell by
+:func:`repro.collectives.verify.compiled_plan_for`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.runtime.buffers import RankBuffers
+from repro.runtime.errors import BufferMismatchError, ScheduleError
+from repro.runtime.executor import ExecutionTrace
+from repro.runtime.reduce_ops import named_op
+from repro.runtime.schedule import LocalCopy, Schedule, Step
+
+__all__ = [
+    "BufferLayout",
+    "CompiledPlan",
+    "compile_plan",
+    "buffers_used",
+    "matrix_from_buffers",
+    "matrix_to_buffers",
+]
+
+
+def buffers_used(schedule: Schedule) -> set[str]:
+    """Every named buffer referenced by the schedule's transfers and copies."""
+    names: set[str] = set()
+    for step in schedule.steps:
+        for t in step.transfers:
+            names.add(t.src_buf)
+            names.add(t.dst_buf)
+        for lc in step.pre + step.post:
+            names.add(lc.src_buf)
+            names.add(lc.dst_buf)
+    return names
+
+
+class BufferLayout:
+    """Column layout packing every named buffer into one 2-D matrix.
+
+    Buffer ``name`` occupies columns ``[offsets[name], offsets[name] +
+    widths[name])`` of a ``(p, total)`` matrix; rank ``r``'s view of the
+    buffer is row ``r`` of that slice.  Names are laid out in sorted order so
+    layouts are deterministic.
+
+    Example::
+
+        >>> layout = BufferLayout({"vec": 4, "tmp": 2})
+        >>> layout.names, layout.total
+        (('tmp', 'vec'), 6)
+        >>> layout.offsets["vec"]
+        2
+    """
+
+    __slots__ = ("names", "widths", "offsets", "total")
+
+    def __init__(self, widths: Mapping[str, int]):
+        if not widths:
+            raise ValueError("a BufferLayout needs at least one buffer")
+        self.names = tuple(sorted(widths))
+        self.widths = {name: int(widths[name]) for name in self.names}
+        offsets: dict[str, int] = {}
+        total = 0
+        for name in self.names:
+            if self.widths[name] < 0:
+                raise ValueError(f"negative width for buffer {name!r}")
+            offsets[name] = total
+            total += self.widths[name]
+        self.offsets = offsets
+        self.total = total
+
+    @classmethod
+    def for_schedule(cls, schedule: Schedule) -> "BufferLayout":
+        """Layout matching what :func:`~repro.collectives.verify.init_buffers`
+        allocates: every buffer the schedule touches, ``meta["n"]`` elements
+        wide (falling back to the largest segment bound when ``n`` is absent).
+        """
+        names = buffers_used(schedule) or {"vec"}
+        n = schedule.meta.get("n")
+        if n is None:
+            n = 0
+            for step in schedule.steps:
+                for item in step.transfers + step.pre + step.post:
+                    for lo, hi in item.src_segments + item.dst_segments:
+                        n = max(n, hi)
+        return cls({name: n for name in names})
+
+
+def matrix_from_buffers(
+    buffers: RankBuffers, layout: BufferLayout, dtype=None
+) -> np.ndarray:
+    """Pack a :class:`RankBuffers` into a fresh ``(p, layout.total)`` matrix.
+
+    Ranks whose copy of a buffer is narrower than the layout width are
+    zero-padded on the right; ranks missing a buffer entirely contribute a
+    zero row slice.  ``dtype`` defaults to the first buffer's dtype
+    (``int64`` when there are none).
+    """
+    if dtype is None:
+        dtype = np.int64
+        for r in range(buffers.p):
+            names = buffers.names(r)
+            if names:
+                dtype = buffers.get(r, names[0]).dtype
+                break
+    matrix = np.zeros((buffers.p, layout.total), dtype=dtype)
+    for name in layout.names:
+        off, width = layout.offsets[name], layout.widths[name]
+        for r in range(buffers.p):
+            if not buffers.has(r, name):
+                continue
+            arr = buffers.get(r, name)
+            if arr.shape[0] > width:
+                raise BufferMismatchError(
+                    f"rank {r} buffer {name!r} has {arr.shape[0]} elems, "
+                    f"layout width is {width}"
+                )
+            matrix[r, off : off + arr.shape[0]] = arr
+    return matrix
+
+
+def matrix_to_buffers(
+    matrix: np.ndarray, layout: BufferLayout, buffers: RankBuffers
+) -> RankBuffers:
+    """Write a matrix back into an allocated :class:`RankBuffers`, in place.
+
+    Each rank/buffer receives exactly as many leading columns as its array
+    holds, so layouts wider than a rank's buffer round-trip losslessly.
+    """
+    for name in layout.names:
+        off = layout.offsets[name]
+        for r in range(buffers.p):
+            if not buffers.has(r, name):
+                continue
+            arr = buffers.get(r, name)
+            arr[:] = matrix[r, off : off + arr.shape[0]]
+    return buffers
+
+
+# -- plan structure ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Write:
+    """One write group: a contiguous run of same-op staged elements."""
+
+    sel: object  # slice (or intp array after overwrite dedup) into staged
+    idx: np.ndarray  # flat destination positions (rank * total + column)
+    ufunc: np.ufunc | None  # None = overwrite
+    disjoint: bool  # destinations pairwise distinct → vectorized reduce
+
+
+@dataclass(frozen=True)
+class _Phase:
+    """Gather-then-scatter with snapshot semantics (all reads before writes)."""
+
+    src: np.ndarray  # flat source positions, staged in transfer order
+    writes: tuple[_Write, ...]
+
+
+@dataclass(frozen=True)
+class _StepPlan:
+    phases: tuple[_Phase, ...]
+    comm_elems: int
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """A schedule lowered to flat index arrays over one buffer matrix."""
+
+    p: int
+    layout: BufferLayout
+    steps: tuple[_StepPlan, ...]
+    transfers_run: int
+    local_elems: int
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.steps)
+
+    def new_matrix(self, dtype=np.int64) -> np.ndarray:
+        """A zeroed buffer matrix of the right shape for this plan."""
+        return np.zeros((self.p, self.layout.total), dtype=dtype)
+
+    def _trace(self) -> ExecutionTrace:
+        per_step = [s.comm_elems for s in self.steps]
+        return ExecutionTrace(
+            steps_run=len(self.steps),
+            transfers_run=self.transfers_run,
+            elems_moved=sum(per_step),
+            local_elems_moved=self.local_elems,
+            per_step_elems=per_step,
+        )
+
+    def _flat_view(self, matrix: np.ndarray, shape: tuple) -> np.ndarray:
+        if matrix.shape != shape:
+            raise ValueError(
+                f"matrix shape {matrix.shape} does not match plan {shape}"
+            )
+        if not matrix.flags.c_contiguous:
+            raise ValueError("compiled execution needs a C-contiguous matrix")
+        return matrix.reshape(matrix.shape[:-2] + (-1,))
+
+    def execute(self, matrix: np.ndarray) -> ExecutionTrace:
+        """Run the plan on one ``(p, total)`` matrix, mutating it in place.
+
+        Returns the same :class:`ExecutionTrace` the reference executor
+        would produce for this schedule.
+        """
+        flat = self._flat_view(matrix, (self.p, self.layout.total))
+        take = np.take
+        for step in self.steps:
+            for phase in step.phases:
+                staged = take(flat, phase.src)
+                for w in phase.writes:
+                    chunk = staged[w.sel]
+                    if w.ufunc is None:
+                        flat[w.idx] = chunk
+                    elif w.disjoint:
+                        flat[w.idx] = w.ufunc(take(flat, w.idx), chunk)
+                    else:
+                        w.ufunc.at(flat, w.idx, chunk)
+        return self._trace()
+
+    def execute_batch(self, matrices: np.ndarray) -> ExecutionTrace:
+        """Run the plan on a ``(batch, p, total)`` stack in one pass.
+
+        Every layer evolves exactly as :meth:`execute` would evolve it alone
+        (the plan's index arrays broadcast over the leading axis), so one
+        batched call verifies many seeds for one compile.  The returned trace
+        describes a single run — all layers share the schedule structure.
+        """
+        if matrices.ndim != 3:
+            raise ValueError(f"expected a 3-D batch, got shape {matrices.shape}")
+        flat = self._flat_view(
+            matrices, (matrices.shape[0],) + (self.p, self.layout.total)
+        )
+        batch = np.arange(matrices.shape[0], dtype=np.intp)[:, None]
+        take = np.take
+        for step in self.steps:
+            for phase in step.phases:
+                staged = take(flat, phase.src, axis=1)
+                for w in phase.writes:
+                    chunk = staged[:, w.sel]
+                    if w.ufunc is None:
+                        flat[:, w.idx] = chunk
+                    elif w.disjoint:
+                        flat[:, w.idx] = w.ufunc(take(flat, w.idx, axis=1), chunk)
+                    else:
+                        w.ufunc.at(flat, (batch, w.idx[None, :]), chunk)
+        return self._trace()
+
+
+# -- compilation -------------------------------------------------------------
+
+
+def _ufunc_for(op_name: str) -> np.ufunc:
+    fn = named_op(op_name).fn
+    if not isinstance(fn, np.ufunc):
+        raise ScheduleError(
+            f"reduce op {op_name!r} is not ufunc-backed; the compiled "
+            "executor needs np.ufunc ops (use the reference executor)"
+        )
+    return fn
+
+
+def _expand_flat(los: list[int], lens: list[int]) -> np.ndarray:
+    """Segment (start, length) lists → one flat per-element index array.
+
+    ``los`` are already flattened start positions (``rank * total + offset +
+    lo``); segment ``j`` expands to ``los[j] .. los[j] + lens[j])``.
+    """
+    if not lens:
+        return np.empty(0, dtype=np.intp)
+    len_arr = np.asarray(lens, dtype=np.intp)
+    lo_arr = np.asarray(los, dtype=np.intp)
+    total = int(len_arr.sum())
+    cum = np.cumsum(len_arr)
+    return np.repeat(lo_arr - (cum - len_arr), len_arr) + np.arange(
+        total, dtype=np.intp
+    )
+
+
+def _make_write(sel: slice, idx: np.ndarray, op_name: str | None) -> _Write:
+    """Finalize one write group: resolve the ufunc, classify destinations.
+
+    Overwrite groups with duplicate destinations keep only the last write per
+    position (the reference's later-transfer-wins order); reduce groups are
+    flagged ``disjoint`` when no position repeats, unlocking the vectorized
+    reduce path.  Both classifications cost one ``np.unique`` per group, paid
+    once at compile time.
+    """
+    uniq, first_rev = np.unique(idx[::-1], return_index=True)
+    disjoint = uniq.size == idx.size
+    if op_name is None:
+        if not disjoint:
+            keep = np.sort(idx.size - 1 - first_rev)
+            return _Write(keep + sel.start, idx[keep], None, True)
+        return _Write(sel, idx, None, True)
+    return _Write(sel, idx, _ufunc_for(op_name), disjoint)
+
+
+class _PhaseBuilder:
+    """Accumulates one gather/scatter phase as flat (start, length) scalars."""
+
+    __slots__ = ("layout", "total", "s_los", "s_lens", "d_los", "d_lens",
+                 "groups", "pos", "where")
+
+    def __init__(self, layout: BufferLayout, where: str):
+        self.layout = layout
+        self.total = layout.total
+        self.s_los: list[int] = []
+        self.s_lens: list[int] = []
+        self.d_los: list[int] = []
+        self.d_lens: list[int] = []
+        # write groups: [op_name, start_elem, stop_elem] in transfer order
+        self.groups: list[list] = []
+        self.pos = 0
+        self.where = where
+
+    def add(self, src_rank, src_buf, src_segments, dst_rank, dst_buf,
+            dst_segments, op_name, tag: str) -> int:
+        layout, where = self.layout, self.where
+        groups = self.groups
+        if not groups or groups[-1][0] != op_name:
+            groups.append([op_name, self.pos, self.pos])
+        try:
+            s_base = src_rank * self.total + layout.offsets[src_buf]
+            s_width = layout.widths[src_buf]
+            d_base = dst_rank * self.total + layout.offsets[dst_buf]
+            d_width = layout.widths[dst_buf]
+        except KeyError as exc:
+            raise BufferMismatchError(
+                f"buffer {exc.args[0]!r} not in layout {layout.names} "
+                f"({where}, {tag!r})"
+            ) from None
+        sent = self._segments(src_segments, s_base, s_width, self.s_los,
+                              self.s_lens, tag)
+        got = self._segments(dst_segments, d_base, d_width, self.d_los,
+                             self.d_lens, tag)
+        if sent != got:
+            raise BufferMismatchError(
+                f"{where} ({tag!r}): {sent} elems sent, {got} expected"
+            )
+        self.pos += sent
+        groups[-1][2] = self.pos
+        return sent
+
+    def _segments(self, segments, base, width, los, lens, tag) -> int:
+        moved = 0
+        for lo, hi in segments:
+            if lo < 0 or hi < lo:
+                raise ScheduleError(
+                    f"invalid segment ({lo}, {hi}) in {self.where} ({tag!r})"
+                )
+            if hi > width:
+                raise BufferMismatchError(
+                    f"segment ({lo},{hi}) exceeds buffer of {width} elems "
+                    f"in {self.where} ({tag!r})"
+                )
+            los.append(base + lo)
+            lens.append(hi - lo)
+            moved += hi - lo
+        return moved
+
+    def build(self) -> _Phase | None:
+        if self.pos == 0 and not self.groups:
+            return None
+        src = _expand_flat(self.s_los, self.s_lens)
+        dst = _expand_flat(self.d_los, self.d_lens)
+        writes = tuple(
+            _make_write(slice(start, stop), dst[start:stop], op_name)
+            for op_name, start, stop in self.groups
+        )
+        return _Phase(src, writes)
+
+
+def _compile_transfers(step: Step, layout: BufferLayout, p: int, where: str) -> _Phase | None:
+    """All transfers of a step → one snapshot-gather phase with write groups."""
+    if not step.transfers:
+        return None
+    builder = _PhaseBuilder(layout, where)
+    for t in step.transfers:
+        if not (0 <= t.src < p and 0 <= t.dst < p):
+            raise ScheduleError(f"rank out of range in {where} ({t.tag!r})")
+        builder.add(t.src, t.src_buf, t.src_segments, t.dst, t.dst_buf,
+                    t.dst_segments, t.op, t.tag)
+    return builder.build()
+
+
+def _compile_locals(
+    ops: tuple[LocalCopy, ...], layout: BufferLayout, p: int, where: str
+) -> tuple[list[_Phase], int]:
+    """Sequential local copies → phases, batching independent ranks.
+
+    Consecutive copies are merged into one gather/scatter phase while they
+    share a reduce op and touch pairwise-distinct ranks; a repeated rank (or
+    an op change) starts a new phase, preserving the reference executor's
+    sequential semantics.
+    """
+    phases: list[_Phase] = []
+    moved_total = 0
+    builder: _PhaseBuilder | None = None
+    cur_op: object = None
+    cur_ranks: set[int] = set()
+    for op in ops:
+        if not 0 <= op.rank < p:
+            raise ScheduleError(
+                f"rank {op.rank} out of range in {where} ({op.tag!r})"
+            )
+        if builder is not None and (op.op != cur_op or op.rank in cur_ranks):
+            phase = builder.build()
+            if phase is not None:
+                phases.append(phase)
+            builder = None
+        if builder is None:
+            builder = _PhaseBuilder(layout, where)
+            cur_op, cur_ranks = op.op, set()
+        cur_ranks.add(op.rank)
+        moved_total += builder.add(op.rank, op.src_buf, op.src_segments,
+                                   op.rank, op.dst_buf, op.dst_segments,
+                                   op.op, op.tag)
+    if builder is not None:
+        phase = builder.build()
+        if phase is not None:
+            phases.append(phase)
+    return phases, moved_total
+
+
+def compile_plan(schedule: Schedule, layout: BufferLayout | None = None) -> CompiledPlan:
+    """Lower a schedule into a :class:`CompiledPlan`.
+
+    ``layout`` defaults to :meth:`BufferLayout.for_schedule` — the columnar
+    equivalent of what :func:`repro.collectives.verify.init_buffers`
+    allocates.  Compilation validates ranks, segment bounds, and transfer
+    size balance (the checks the reference executor performs while running),
+    so a plan that compiles executes without further checks.
+
+    Example::
+
+        >>> from repro.collectives.registry import build
+        >>> plan = compile_plan(build("bcast", "bine", 8, 8))
+        >>> plan.num_steps
+        3
+    """
+    if schedule.p <= 0:
+        raise ScheduleError("schedule needs p > 0")
+    layout = layout or BufferLayout.for_schedule(schedule)
+    steps: list[_StepPlan] = []
+    transfers_run = 0
+    local_elems = 0
+    for i, step in enumerate(schedule.steps):
+        where = f"step {i}" + (f" [{step.label}]" if step.label else "")
+        pre, pre_elems = _compile_locals(step.pre, layout, schedule.p, where)
+        xfer = _compile_transfers(step, layout, schedule.p, where)
+        post, post_elems = _compile_locals(step.post, layout, schedule.p, where)
+        phases = pre + ([xfer] if xfer is not None else []) + post
+        comm = sum(t.nelems for t in step.transfers)
+        steps.append(_StepPlan(tuple(phases), comm))
+        transfers_run += len(step.transfers)
+        local_elems += pre_elems + post_elems
+    return CompiledPlan(
+        p=schedule.p,
+        layout=layout,
+        steps=tuple(steps),
+        transfers_run=transfers_run,
+        local_elems=local_elems,
+    )

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.runtime.buffers import RankBuffers, gather_segments, scatter_segments
 from repro.runtime.reduce_ops import named_op
-from repro.runtime.schedule import Schedule, Step
+from repro.runtime.schedule import Schedule, Step, validation_enabled
 
 __all__ = ["ExecutionTrace", "execute", "execute_step"]
 
@@ -37,8 +37,15 @@ class ExecutionTrace:
 
 
 def execute(schedule: Schedule, buffers: RankBuffers) -> ExecutionTrace:
-    """Run the whole schedule, mutating ``buffers``; returns a trace."""
-    schedule.validate()
+    """Run the whole schedule, mutating ``buffers``; returns a trace.
+
+    Validation follows the same switch as :meth:`Schedule.finalize`
+    (:func:`validation_enabled`): on by default, toggled off by bulk
+    verification, which re-runs known-good schedules many times and should
+    not pay the structural pass twice per run.
+    """
+    if validation_enabled():
+        schedule.validate()
     if buffers.p != schedule.p:
         raise ValueError(
             f"buffers built for p={buffers.p}, schedule for p={schedule.p}"
@@ -56,10 +63,12 @@ def execute_step(step: Step, buffers: RankBuffers, trace: ExecutionTrace | None 
     for op in step.pre:
         _apply_local(op, buffers, trace)
 
+    # gather_segments returns a freshly allocated array (see its ownership
+    # contract in runtime/buffers.py), so staging needs no defensive copy
     staged: list[tuple[object, np.ndarray]] = []
     for t in step.transfers:
         data = gather_segments(buffers.get(t.src, t.src_buf), t.src_segments)
-        staged.append((t, data.copy()))
+        staged.append((t, data))
     step_elems = 0
     for t, data in staged:
         reduce_fn = named_op(t.op) if t.op is not None else None
@@ -77,7 +86,7 @@ def execute_step(step: Step, buffers: RankBuffers, trace: ExecutionTrace | None 
 
 def _apply_local(op, buffers: RankBuffers, trace: ExecutionTrace) -> None:
     src = buffers.get(op.rank, op.src_buf)
-    data = gather_segments(src, op.src_segments).copy()
+    data = gather_segments(src, op.src_segments)
     reduce_fn = named_op(op.op) if op.op is not None else None
     scatter_segments(buffers.get(op.rank, op.dst_buf), op.dst_segments, data, reduce_fn)
     trace.local_elems_moved += data.shape[0]

@@ -338,6 +338,84 @@ class TestManifest:
         assert m.grids[0].vector_bytes == tuple(32 * 8**k for k in range(9))
 
 
+# -- repro verify ------------------------------------------------------------
+
+
+class TestVerify:
+    def test_quick_smoke_grid(self, capsys):
+        """The tier-1 oracle smoke: every registry cell at p=4,8, one seed."""
+        assert main(["verify", "--quick"]) == 0
+        captured = capsys.readouterr()
+        assert "0 failed" in captured.err
+        assert "total:" in captured.out and " ok" in captured.out
+
+    def test_quick_cross_check_engines(self, capsys):
+        assert main(["verify", "--quick", "--engine", "both",
+                     "--collective", "allreduce"]) == 0
+        out = capsys.readouterr().out
+        assert "allreduce" in out and "failed" in out
+
+    def test_json_records(self, capsys):
+        assert main(["verify", "--collective", "bcast", "--nodes", "8,12",
+                     "--seeds", "0", "--format", "json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert {r["status"] for r in records} == {"ok", "skipped"}
+        assert {r["p"] for r in records} == {8, 12}  # pow2-only cells skip at 12
+        assert all(r["engine"] == "compiled" for r in records)
+
+    def test_markdown_and_table(self, capsys):
+        assert main(["verify", "--quick", "--collective", "scatter",
+                     "--format", "markdown"]) == 0
+        assert capsys.readouterr().out.startswith("| collective |")
+        assert main(["verify", "--quick", "--collective", "scatter",
+                     "--format", "table"]) == 0
+        assert "scatter" in capsys.readouterr().out
+
+    def test_workers_identical_to_serial(self, capsys):
+        args = ["verify", "--quick", "--collective", "gather", "--format", "json"]
+        assert main(args) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(args + ["--workers", "2"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        strip = lambda rs: [{**r, "elapsed_s": 0} for r in rs]
+        assert strip(serial) == strip(parallel)
+
+    def test_failure_exits_one(self, capsys, monkeypatch):
+        from repro.collectives.registry import ALGORITHMS, AlgorithmSpec
+        from repro.collectives.verify import clear_plan_cache
+        from repro.runtime.schedule import Schedule
+
+        spec = AlgorithmSpec(
+            "bcast", "broken", "bine",
+            lambda p, n, root, op: Schedule(
+                p, meta={"collective": "bcast", "n": n, "root": 0}
+            ),
+            pow2_only=False,
+        )
+        monkeypatch.setitem(ALGORITHMS, ("bcast", "broken"), spec)
+        assert main(["verify", "--quick", "--collective", "bcast",
+                     "--algorithm", "broken"]) == 1
+        captured = capsys.readouterr()
+        assert "1 failed" in captured.err or "2 failed" in captured.err
+        assert "failures:" in captured.out
+        clear_plan_cache()
+
+    def test_unknown_collective_fails(self, capsys):
+        assert main(["verify", "--collective", "bogus"]) == 2
+        assert "unknown collective" in capsys.readouterr().err
+
+    def test_unknown_algorithm_fails(self, capsys):
+        assert main(["verify", "--collective", "bcast", "--algorithm", "bien"]) == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "verify.json"
+        assert main(["verify", "--quick", "--collective", "alltoall",
+                     "--format", "json", "--output", str(target)]) == 0
+        records = json.loads(target.read_text())
+        assert records and all(r["collective"] == "alltoall" for r in records)
+
+
 # -- repro bench -------------------------------------------------------------
 
 

@@ -13,8 +13,13 @@ import time
 
 from repro.analysis.sweep import clear_memo_caches
 from repro.collectives.butterfly_collectives import allgather_butterfly
+from repro.collectives.registry import build
+from repro.collectives.verify import check, init_buffers, run_and_check_compiled
 from repro.core.butterfly import bine_butterfly_doubling
 from repro.model.simulator import profile_schedule
+from repro.runtime.compiled import compile_plan
+from repro.runtime.executor import execute
+from repro.runtime.schedule import schedule_validation
 from repro.systems import lumi
 from repro.topology.mapping import block_mapping
 
@@ -32,3 +37,45 @@ def test_256_rank_allgather_build_profile_under_budget():
     elapsed = time.perf_counter() - t0
     assert len(profile.steps) == schedule.num_steps == 8
     assert elapsed < BUDGET_S, f"build+profile took {elapsed:.2f}s (budget {BUDGET_S}s)"
+
+
+def test_256_rank_compiled_oracle_under_reference_budget():
+    """Compile + batched execute must stay under the reference executor's
+    wall-clock for the same work — the compiled path's reason to exist.
+
+    The cell is a 256-rank ring allreduce (Θ(p²) transfers: per-transfer
+    interpreter overhead dominates) verified at two seeds; the reference
+    budget is measured in-process so the assertion is machine-independent.
+    A small floor keeps timer noise from failing near-zero measurements.
+    """
+    seeds = (0, 1)
+    schedule = build("allreduce", "ring", 256, 256)
+    with schedule_validation(False):  # identical settings for both engines
+        t0 = time.perf_counter()
+        for seed in seeds:
+            bufs = init_buffers(schedule, seed)
+            execute(schedule, bufs)
+            check(schedule, bufs, seed)
+        reference_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        run_and_check_compiled(schedule, seeds)  # includes compile_plan
+        compiled_s = time.perf_counter() - t0
+    assert compiled_s < max(reference_s, 0.05), (
+        f"compile+execute took {compiled_s:.3f}s, "
+        f"reference budget is {reference_s:.3f}s"
+    )
+
+
+def test_1024_rank_compiled_oracle_absolute_budget():
+    """A p=1024 butterfly cell — compile once, verify two seeds — must stay
+    comfortably interactive (the grid-scale `repro verify` building block)."""
+    schedule = build("allreduce", "bine-rsag", 1024, 1024)
+    with schedule_validation(False):
+        t0 = time.perf_counter()
+        plan = compile_plan(schedule)
+        run_and_check_compiled(schedule, (0, 1), plan)
+        elapsed = time.perf_counter() - t0
+    assert elapsed < BUDGET_S, (
+        f"compile+verify took {elapsed:.2f}s (budget {BUDGET_S}s)"
+    )
