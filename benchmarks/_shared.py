@@ -17,11 +17,15 @@ rebuild.
 
 Every bench writes its rendered output under ``benchmarks/results/`` *and*
 returns it, so ``pytest benchmarks/ --benchmark-only`` leaves the
-reproduced tables on disk next to the timing report.
+reproduced tables on disk next to the timing report.  Set
+``REPRO_BENCH_ARTIFACTS=1`` to additionally render each campaign's SVG
+report (heatmaps, improvement boxplot, artifact index — the same output
+as ``repro plot``) under ``benchmarks/results/report/<campaign>/``.
 """
 
 from __future__ import annotations
 
+import os
 from functools import lru_cache
 from pathlib import Path
 
@@ -51,8 +55,20 @@ def write_result(name: str, text: str) -> str:
 @lru_cache(maxsize=None)
 def campaign_records(manifest_name: str) -> tuple:
     """Records of one ``campaigns/<name>.toml`` manifest, cached per process."""
-    manifest = load_manifest(CAMPAIGNS_DIR / f"{manifest_name}.toml")
-    return tuple(run_campaign(manifest, disk_dir=PROFILE_CACHE_DIR).records)
+    path = CAMPAIGNS_DIR / f"{manifest_name}.toml"
+    manifest = load_manifest(path)
+    records = tuple(run_campaign(manifest, disk_dir=PROFILE_CACHE_DIR).records)
+    if os.environ.get("REPRO_BENCH_ARTIFACTS") == "1":
+        from repro.report import render_report
+
+        render_report(
+            list(records),
+            RESULTS_DIR / "report" / manifest_name,
+            name=manifest.name,
+            source=f"campaigns/{path.name}",
+            manifest=manifest,
+        )
+    return records
 
 
 def lumi_sweep():

@@ -7,21 +7,17 @@ move, cutting total crossed links.
 
 Fig. 18/App. D.4: the multiported allreduce drives all 2·D NICs — on
 Fugaku-like parameters it beats the single-ported torus Bine allreduce for
-bandwidth-bound sizes.
+bandwidth-bound sizes.  That half of the study is *defined* by
+``campaigns/appd_torus.toml`` and runs through ``run_campaign``, so the
+bench's ratios and ``repro campaign campaigns/appd_torus.toml`` can never
+disagree; the crossed-links half is tree-structural (no sweep records).
 """
 
-from repro.collectives.torus import (
-    torus_bine_allreduce,
-    torus_bine_allreduce_multiport,
-)
 from repro.core.bine_tree import bine_tree_distance_halving
 from repro.core.torus_opt import TorusShape, torus_bine_tree
-from repro.model.simulator import evaluate_time, profile_schedule
-from repro.systems import fugaku
-from repro.topology.mapping import block_mapping
 from repro.topology.torus import Torus
 
-from benchmarks._shared import write_result
+from benchmarks._shared import campaign_records, write_result
 
 
 def crossed_links(tree, torus: Torus) -> int:
@@ -38,23 +34,15 @@ def compute():
         opt = crossed_links(torus_bine_tree(shape), torus)
         out[dims] = (flat, opt)
 
-    # multiport vs single port on an 8x8x8 Fugaku sub-torus
-    dims = (8, 8, 8)
-    shape = TorusShape(dims)
-    preset = fugaku(dims)
-    topo = Torus(dims)
-    mapping = block_mapping(shape.num_ranks)
-    single = profile_schedule(
-        torus_bine_allreduce(shape, shape.num_ranks), topo, mapping
-    )
-    multi = profile_schedule(
-        torus_bine_allreduce_multiport(shape, 6 * shape.num_ranks), topo, mapping
-    )
-    ratios = {}
-    for nb in (64 * 1024, 8 * 1024**2, 512 * 1024**2):
-        t1 = evaluate_time(single, preset.params, nb / 4).time
-        t6 = evaluate_time(multi, preset.params, nb / 4).time
-        ratios[nb] = t1 / t6
+    # multiport vs single port on an 8x8x8 Fugaku sub-torus, from the
+    # App. D campaign manifest (same records as `repro campaign`)
+    times = {}
+    for r in campaign_records("appd_torus"):
+        times.setdefault(r.n_bytes, {})[r.algorithm] = r.time
+    ratios = {
+        nb: t["bine-torus"] / t["bine-multiport"]
+        for nb, t in sorted(times.items())
+    }
     return out, ratios
 
 

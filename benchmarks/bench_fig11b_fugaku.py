@@ -5,77 +5,28 @@ allreduce / reduce-scatter / scatter in >60 % of tests with gains up to 5×,
 while for bcast/reduce Fujitsu's Trinaryx-like multiported trees are near
 optimal and Bine merely stays competitive; plain binomial trees (topology
 agnostic) are catastrophically slower (up to 40×).
+
+The grid is *defined* by ``campaigns/fig11b_fugaku.toml`` (four sub-tori
+through the torus algorithm catalog) and executed via ``run_campaign`` —
+the same path as ``repro campaign`` — so CLI and bench records are
+identical by construction.
 """
 
-from repro.collectives.registry import build as build_generic
-from repro.collectives.torus import (
-    bucket_allreduce,
-    torus_bine_allreduce,
-    torus_bine_allreduce_multiport,
-    torus_bine_allreduce_small,
-    torus_bine_bcast,
-    torus_bine_reduce,
-    trinaryx_bcast,
-    trinaryx_reduce,
-)
-from repro.core.torus_opt import TorusShape
-from repro.model.simulator import evaluate_time, profile_schedule
-from repro.systems import fugaku
-from repro.topology.mapping import block_mapping
-from repro.topology.torus import Torus
-
-from benchmarks._shared import write_result
-
-SHAPES = ((2, 2, 2), (4, 4, 4), (8, 8, 8), (8, 8))
-SIZES = tuple(32 * 8**k for k in range(9))
+from benchmarks._shared import campaign_records, write_result
 
 
-def _profiles_for(dims):
-    shape = TorusShape(dims)
-    p = shape.num_ranks
-    preset = fugaku(dims)
-    topo = Torus(dims)
-    mapping = block_mapping(p)
-
-    def prof(sched):
-        return profile_schedule(sched, topo, mapping)
-
-    out = {"allreduce": {}, "bcast": {}, "reduce": {}}
-    out["allreduce"]["bine-multiport"] = prof(
-        torus_bine_allreduce_multiport(shape, 2 * shape.num_dims * p)
-    )
-    out["allreduce"]["bine-torus"] = prof(torus_bine_allreduce(shape, p))
-    out["allreduce"]["bine-torus-small"] = prof(torus_bine_allreduce_small(shape, p))
-    out["allreduce"]["bucket"] = prof(bucket_allreduce(shape, p))
-    out["allreduce"]["binomial"] = prof(
-        build_generic("allreduce", "recursive-doubling", p, p)
-    )
-    out["allreduce"]["rabenseifner"] = prof(
-        build_generic("allreduce", "rabenseifner", p, p)
-    )
-    out["bcast"]["bine-torus"] = prof(torus_bine_bcast(shape, p))
-    out["bcast"]["trinaryx"] = prof(trinaryx_bcast(shape, p))
-    out["bcast"]["binomial"] = prof(build_generic("bcast", "binomial-dd", p, p))
-    out["reduce"]["bine-torus"] = prof(torus_bine_reduce(shape, p))
-    out["reduce"]["trinaryx"] = prof(trinaryx_reduce(shape, p))
-    out["reduce"]["binomial"] = prof(build_generic("reduce", "binomial-dd", p, p))
-    return preset, out
+def _grids(records):
+    """Regroup records into {dims: {(collective, nbytes): {name: time}}}."""
+    results = {}
+    for r in records:
+        dims = tuple(int(d) for d in r.system.split(":", 1)[1].split("x"))
+        grid = results.setdefault(dims, {})
+        grid.setdefault((r.collective, r.n_bytes), {})[r.algorithm] = r.time
+    return results
 
 
 def compute():
-    results = {}
-    for dims in SHAPES:
-        preset, profs = _profiles_for(dims)
-        grid = {}
-        for coll, algos in profs.items():
-            for nb in SIZES:
-                times = {
-                    name: evaluate_time(prof, preset.params, nb / 4).time
-                    for name, prof in algos.items()
-                }
-                grid[(coll, nb)] = times
-        results[dims] = grid
-    return results
+    return _grids(campaign_records("fig11b_fugaku"))
 
 
 def test_fig11b_fugaku(benchmark):
@@ -83,7 +34,6 @@ def test_fig11b_fugaku(benchmark):
     lines = []
     bine_best_allreduce = 0
     allreduce_cells = 0
-    speedups = []
     for dims, grid in results.items():
         lines.append(f"--- {'x'.join(map(str, dims))} torus ---")
         for (coll, nb), times in sorted(grid.items()):
@@ -98,10 +48,6 @@ def test_fig11b_fugaku(benchmark):
                 allreduce_cells += 1
                 if winner.startswith("bine"):
                     bine_best_allreduce += 1
-                    speedups.append(t_next / t_best)
-                # topology-agnostic binomial should never win on the torus
-                binom = times["binomial"]
-                speedups_vs_binom = binom / t_best
     pct = 100 * bine_best_allreduce / allreduce_cells
     lines.append(f"bine variants best in {pct:.0f}% of allreduce cells "
                  f"(paper: 62%); paper max gain 4-5x")
@@ -118,6 +64,6 @@ def test_fig11b_fugaku(benchmark):
                     times["bine-torus-small"],
                 )
     # trinaryx stays strongest for large-vector bcast (vendor-optimal claim)
-    big = max(SIZES)
+    big = max(nb for (_, nb) in results[(8, 8, 8)])
     grid = results[(8, 8, 8)]
     assert grid[("bcast", big)]["trinaryx"] < grid[("bcast", big)]["binomial"]

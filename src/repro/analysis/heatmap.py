@@ -11,7 +11,13 @@ from typing import Mapping, Sequence
 
 from repro.analysis.sweep import SweepRecord
 
-__all__ = ["FAMILY_LETTERS", "render_heatmap", "human_bytes"]
+__all__ = [
+    "FAMILY_LETTERS",
+    "family_letter",
+    "families_without_letter",
+    "render_heatmap",
+    "human_bytes",
+]
 
 FAMILY_LETTERS = {
     "binomial": "N",
@@ -23,6 +29,46 @@ FAMILY_LETTERS = {
     "bucket": "K",
     "trinaryx": "T",
 }
+
+
+def family_letter(family: str) -> str:
+    """The heatmap letter for a non-Bine family; loud failure for unknowns.
+
+    A registry family without a letter used to render as a silently
+    invented first-letter fallback; now it names the offender so adding
+    an algorithm family forces a :data:`FAMILY_LETTERS` entry.
+
+    Example::
+
+        >>> family_letter("ring")
+        'R'
+        >>> family_letter("carrier-pigeon")
+        Traceback (most recent call last):
+        ...
+        ValueError: no heatmap letter for algorithm family 'carrier-pigeon'; add it to repro.analysis.heatmap.FAMILY_LETTERS
+    """
+    try:
+        return FAMILY_LETTERS[family]
+    except KeyError:
+        raise ValueError(
+            f"no heatmap letter for algorithm family {family!r}; "
+            "add it to repro.analysis.heatmap.FAMILY_LETTERS"
+        ) from None
+
+
+def families_without_letter() -> list[str]:
+    """Families known to the registries but missing a heatmap letter.
+
+    Covers both the generic algorithm registry and the torus catalog;
+    ``bine`` is exempt (Bine cells render the speedup ratio, not a
+    letter).  Asserted empty in tier-1 so a new family cannot silently
+    break heatmap rendering.
+    """
+    from repro.collectives.registry import families
+    from repro.collectives.torus import TORUS_ALGORITHMS
+
+    known = set(families()) | {s.family for s in TORUS_ALGORITHMS.values()}
+    return sorted(known - set(FAMILY_LETTERS) - {"bine"})
 
 
 def human_bytes(nb: int) -> str:
@@ -56,8 +102,7 @@ def render_heatmap(
             if best.family == "bine":
                 row.append(f"{ratio:>{width}.2f}" if ratio else f"{'BINE':>{width}}")
             else:
-                letter = FAMILY_LETTERS.get(best.family, best.family[:1].upper())
-                row.append(f"{letter:>{width}}")
+                row.append(f"{family_letter(best.family):>{width}}")
         lines.append("".join(row))
     lines.append(
         "letters = best non-Bine family ("

@@ -66,6 +66,7 @@ __all__ = [
     "SweepRecord",
     "RECORD_FIELDS",
     "sweep_system",
+    "sweep_torus",
     "ProfileCache",
     "clear_memo_caches",
 ]
@@ -448,6 +449,70 @@ def sweep_system(
     return _evaluate_grid(
         preset, cache, specs, node_counts, vector_bytes, params, max_p, ppn
     )
+
+
+def sweep_torus(
+    preset: SystemPreset,
+    dims: Sequence[int],
+    collectives: Sequence[str],
+    *,
+    vector_bytes: Sequence[int] | None = None,
+    algorithms: Iterable[str] | None = None,
+    params: CostParams | None = None,
+) -> list[SweepRecord]:
+    """Evaluate the torus algorithm catalog on one sub-torus (Fig. 11b).
+
+    The torus-optimised builders take a :class:`TorusShape` instead of a
+    bare rank count, so they run through
+    :data:`repro.collectives.torus.TORUS_ALGORITHMS` rather than the
+    generic registry: every applicable catalog entry is built once at its
+    canonical size on a block-mapped ``Torus(dims)``, profiled, then
+    evaluated at every vector size — exactly what the Fugaku benches have
+    always computed, now addressable from campaign manifests
+    (``torus_dims`` grids).  Records are tagged
+    ``system="<preset>:<DxDxD>"`` so multiple sub-tori of one campaign
+    (e.g. the paper's 4x4x4 and 8x8 at 64 ranks) stay distinct cells.
+
+    Example::
+
+        >>> from repro.systems import fugaku
+        >>> recs = sweep_torus(fugaku(), (2, 2), ("bcast",),
+        ...                    vector_bytes=(1024,), algorithms=("bine-torus",))
+        >>> [(r.system, r.algorithm, r.p) for r in recs]
+        [('fugaku:2x2', 'bine-torus', 4)]
+    """
+    from repro.collectives.torus import torus_specs
+    from repro.core.torus_opt import TorusShape
+    from repro.topology.torus import Torus
+
+    shape = TorusShape(tuple(dims))
+    topo = Torus(tuple(dims))
+    mapping = block_mapping(shape.num_ranks)
+    params = params or preset.params
+    vector_bytes = tuple(
+        vector_bytes if vector_bytes is not None else preset.vector_bytes
+    )
+    system = f"{preset.name}:{'x'.join(str(d) for d in dims)}"
+    records: list[SweepRecord] = []
+    for spec in torus_specs(collectives, algorithms):
+        with schedule_validation(False):
+            schedule = spec.build(shape)
+        profile = profile_schedule(schedule, topo, mapping)
+        for nb in vector_bytes:
+            metrics = evaluate_time(profile, params, nb / params.itemsize)
+            records.append(
+                SweepRecord(
+                    system=system,
+                    collective=spec.collective,
+                    algorithm=spec.name,
+                    family=spec.family,
+                    p=shape.num_ranks,
+                    n_bytes=nb,
+                    time=metrics.time,
+                    global_bytes=metrics.global_bytes,
+                )
+            )
+    return records
 
 
 # -- parallel campaigns ------------------------------------------------------

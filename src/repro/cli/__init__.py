@@ -14,7 +14,13 @@ their algorithm space:
 * ``repro bench``    — discover and run the ``benchmarks/bench_*.py``
   reproduction scripts;
 * ``repro campaign`` — run a declarative TOML/JSON manifest (see
-  ``campaigns/``) reproducing a whole paper table in one command.
+  ``campaigns/``) reproducing a whole paper table in one command;
+* ``repro verify``   — bulk-run the executor oracle over a
+  collective/algorithm/p grid;
+* ``repro plot``     — render a campaign as byte-deterministic SVG
+  figures plus an artifact index (:mod:`repro.report`);
+* ``repro compare``  — diff two record sets cell by cell; the baseline
+  regression gate (exit 1 on drift).
 
 Example::
 

@@ -28,7 +28,7 @@ import os
 from dataclasses import dataclass, field
 
 from repro.analysis.summarize import DuelSummary, family_duel
-from repro.analysis.sweep import ProfileCache, SweepRecord, sweep_system
+from repro.analysis.sweep import ProfileCache, SweepRecord, sweep_system, sweep_torus
 from repro.cli.manifest import CampaignManifest
 from repro.systems import system_for
 
@@ -106,6 +106,19 @@ def run_campaign(
         )
     records: list[SweepRecord] = []
     for grid in manifest.grids:
+        if grid.torus_dims is not None:
+            # torus grids build one schedule per catalog entry — cheap
+            # enough that the profile cache / worker knobs don't apply
+            records.extend(
+                sweep_torus(
+                    preset,
+                    grid.torus_dims,
+                    grid.collectives,
+                    vector_bytes=grid.vector_bytes,
+                    algorithms=grid.algorithms,
+                )
+            )
+            continue
         records.extend(
             sweep_system(
                 preset,

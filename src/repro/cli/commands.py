@@ -36,6 +36,8 @@ __all__ = [
     "cmd_verify",
     "cmd_bench",
     "cmd_campaign",
+    "cmd_plot",
+    "cmd_compare",
 ]
 
 
@@ -344,6 +346,206 @@ def cmd_bench(args) -> int:
     print(f"$ {' '.join(cmd)}  (cwd={repo_root})", file=sys.stderr)
     proc = subprocess.run(cmd, cwd=repo_root, env=env)
     return proc.returncode
+
+
+# -- repro plot --------------------------------------------------------------
+
+
+def _restrict_manifest(manifest, collectives, nodes, sizes):
+    """Trim a manifest's grids to the requested slices (for cheap plots).
+
+    Returns the restricted manifest, or an error string when nothing of
+    the manifest survives the filters.
+    """
+    import dataclasses
+
+    grids = []
+    for grid in manifest.grids:
+        colls = tuple(
+            c for c in grid.collectives if not collectives or c in collectives
+        )
+        node_counts = tuple(
+            p for p in grid.node_counts if not nodes or p in nodes
+        )
+        vector_bytes = grid.vector_bytes
+        if sizes:
+            if vector_bytes is None:
+                vector_bytes = tuple(sizes)
+            else:
+                vector_bytes = tuple(nb for nb in vector_bytes if nb in sizes)
+        if not colls or not node_counts or vector_bytes == ():
+            continue
+        grids.append(
+            dataclasses.replace(
+                grid, collectives=colls, node_counts=node_counts,
+                vector_bytes=vector_bytes,
+            )
+        )
+    if not grids:
+        return None, (
+            "the --collective/--nodes/--sizes filters leave nothing of "
+            f"manifest {manifest.name!r}"
+        )
+    # summary=None: plot renders figures, not duel tables — don't pay the
+    # family_duel pass over a full campaign's records for nothing
+    return dataclasses.replace(
+        manifest, grids=tuple(grids), summary=None
+    ), None
+
+
+def cmd_plot(args) -> int:
+    """``repro plot`` — render campaign figures (SVG) plus an artifact index.
+
+    Exit codes: 0 artifacts written, 2 usage/domain error.
+
+    Example::
+
+        $ repro plot --manifest campaigns/table3_lumi.toml --out report/
+        $ repro plot --records sweep.json --out report/ --collective allreduce
+    """
+    from repro.report import render_report
+    from repro.report.diff import RecordSetError, load_record_set
+
+    manifest = None
+    if args.manifest:
+        try:
+            manifest = load_manifest(args.manifest)
+        except (ManifestError, FileNotFoundError) as exc:
+            return _fail(str(exc))
+        manifest, error = _restrict_manifest(
+            manifest, args.collective, args.nodes, args.sizes
+        )
+        if error:
+            return _fail(error)
+        result = run_campaign(
+            manifest, workers=args.workers, disk_dir=args.disk_cache
+        )
+        records = result.records
+        name, source = manifest.name, args.manifest
+    else:
+        try:
+            record_set = load_record_set(args.records)
+        except (RecordSetError, FileNotFoundError) as exc:
+            return _fail(str(exc))
+        if record_set.kind != "sweep":
+            return _fail(
+                f"{args.records}: plot needs sweep records, got "
+                f"{record_set.kind!r}"
+            )
+        records = [
+            r for r in record_set.to_records()
+            if (not args.collective or r.collective in args.collective)
+            and (not args.nodes or r.p in args.nodes)
+            and (not args.sizes or r.n_bytes in args.sizes)
+        ]
+        name, source = Path(args.records).stem, args.records
+    if not records:
+        return _fail("no records to plot")
+    try:
+        written = render_report(
+            records, args.out, name=name, source=source, manifest=manifest,
+            collectives=tuple(args.collective) if args.collective else None,
+        )
+    except ValueError as exc:  # e.g. a family with no heatmap letter
+        return _fail(str(exc))
+    print(f"# plot: {len(records)} records -> {len(written)} artifacts",
+          file=sys.stderr)
+    for path in written:
+        print(path)
+    return 0
+
+
+# -- repro compare -----------------------------------------------------------
+
+
+def _resolve_record_set(path_text: str, workers, disk_dir):
+    """A compare operand: records/baseline JSON, or a manifest to rerun.
+
+    Returns ``(record_set, manifest_or_None)``; raises ``ManifestError``
+    or :class:`~repro.report.diff.RecordSetError` on bad input.
+    """
+    import json as _json
+
+    from repro.report.diff import (
+        RecordSetError,
+        record_set_from_json,
+        record_set_from_records,
+    )
+
+    path = Path(path_text)
+    data = None
+    if path.suffix == ".json":
+        try:
+            data = _json.loads(path.read_text())
+        except _json.JSONDecodeError as exc:
+            raise RecordSetError(f"{path_text}: not valid JSON ({exc})") from None
+        # a JSON *manifest* has [campaign] + [[grid]]; anything else (incl.
+        # BENCH_*.json blobs, which carry a "campaign" metadata key but no
+        # grids) diffs as a record set
+        if not (isinstance(data, dict) and isinstance(data.get("campaign"), dict)
+                and "grid" in data):
+            return record_set_from_json(data, path_text), None
+    # a campaign manifest (TOML, or JSON with a [campaign] table): run it
+    from repro.cli.manifest import manifest_from_dict
+
+    manifest = (
+        manifest_from_dict(data) if data is not None else load_manifest(path)
+    )
+    result = run_campaign(manifest, workers=workers, disk_dir=disk_dir)
+    return record_set_from_records(result.records, label=path_text), manifest
+
+
+def cmd_compare(args) -> int:
+    """``repro compare`` — diff two record sets cell by cell.
+
+    Operands are records/baseline JSON files or campaign manifests (a
+    manifest is rerun, which is the baseline regression gate).  Exit
+    codes: 0 identical within tolerance, 1 drift (the drifted cells are
+    named), 2 usage/domain error.
+
+    Example::
+
+        $ repro compare baselines/table3.json campaigns/table3_lumi.toml --update
+        $ repro compare baselines/table3.json campaigns/table3_lumi.toml
+        $ repro compare old_sweep.json new_sweep.json --format markdown
+    """
+    from repro.report.baseline import write_baseline
+    from repro.report.diff import RecordSetError, diff_record_sets
+
+    if args.update:
+        try:
+            candidate, manifest = _resolve_record_set(
+                args.candidate, args.workers, args.disk_cache
+            )
+        except (ManifestError, RecordSetError, FileNotFoundError, OSError) as exc:
+            return _fail(str(exc))
+        if manifest is None:
+            return _fail(
+                "--update freezes a campaign manifest's records; "
+                f"{args.candidate!r} is not a manifest"
+            )
+        if Path(args.ref).suffix != ".json":
+            return _fail("--update writes a .json baseline file")
+        records = candidate.to_records()
+        write_baseline(args.ref, manifest, records)
+        print(f"froze {len(records)} records -> {args.ref}", file=sys.stderr)
+        return 0
+    try:
+        ref, _ = _resolve_record_set(args.ref, args.workers, args.disk_cache)
+        candidate, _ = _resolve_record_set(
+            args.candidate, args.workers, args.disk_cache
+        )
+        diff = diff_record_sets(ref, candidate, tolerance=args.tolerance)
+    except (ManifestError, RecordSetError, FileNotFoundError, OSError) as exc:
+        return _fail(str(exc))
+    text = {
+        "summary": fmt.diff_summary_text,
+        "table": fmt.diff_records_table,
+        "json": fmt.diff_records_json,
+        "markdown": fmt.diff_records_markdown,
+    }[args.format](diff)
+    _emit(text, args.output)
+    return 1 if diff.drifted else 0
 
 
 # -- repro campaign ----------------------------------------------------------

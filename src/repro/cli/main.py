@@ -209,6 +209,61 @@ def build_parser() -> argparse.ArgumentParser:
                    help="list matching scripts instead of running them")
     p.set_defaults(func=commands.cmd_bench)
 
+    # plot
+    p = sub.add_parser(
+        "plot",
+        help="render campaign figures (SVG heatmaps + boxplots) to a directory",
+        description="Render the Fig. 9a/10a-style best-algorithm heatmap per "
+        "collective and the Fig. 9b-style Bine-improvement boxplot, plus an "
+        "index.md/index.html artifact manifest linking every figure to its "
+        "source, seed and record digest.  Output is byte-deterministic: the "
+        "same records always produce the same SVG bytes.",
+    )
+    src = p.add_mutually_exclusive_group(required=True)
+    src.add_argument("--manifest", metavar="FILE",
+                     help="campaign manifest to run and plot (TOML/JSON)")
+    src.add_argument("--records", metavar="FILE",
+                     help="sweep records JSON (from `repro sweep/campaign "
+                     "--format json`) to plot without re-running")
+    p.add_argument("--out", required=True, metavar="DIR",
+                   help="directory for the SVG figures and the artifact index")
+    p.add_argument("--collective", action="append", metavar="NAME",
+                   help="only plot these collectives (repeatable)")
+    p.add_argument("--nodes", type=_int_list, metavar="P1,P2,...",
+                   help="restrict the grid to these rank counts")
+    p.add_argument("--sizes", type=_int_list, metavar="B1,B2,...",
+                   help="restrict the grid to these vector sizes (bytes)")
+    _add_execution_knobs(p)
+    p.set_defaults(func=commands.cmd_plot)
+
+    # compare
+    p = sub.add_parser(
+        "compare",
+        help="diff two record sets cell by cell (baseline regression gate)",
+        description="Align two record sets by cell identity and classify "
+        "added/removed/changed cells under a relative tolerance.  Operands "
+        "are records/baseline JSON files (sweep records, verify records, or "
+        "BENCH_*.json metric blobs) or campaign manifests, which are rerun — "
+        "`repro compare baseline.json campaigns/x.toml` is the regression "
+        "gate.  Exit code 1 when anything drifted.",
+    )
+    p.add_argument("ref", help="reference: records/baseline JSON or a manifest")
+    p.add_argument("candidate", help="candidate: records JSON or a manifest")
+    p.add_argument("--tolerance", type=float, default=1e-9, metavar="REL",
+                   help="relative drift tolerance per numeric field "
+                   "(default: 1e-9, i.e. bit-stable reruns)")
+    p.add_argument("--update", action="store_true",
+                   help="freeze CANDIDATE (a campaign manifest) into REF as "
+                   "the new baseline instead of comparing")
+    p.add_argument("--format",
+                   choices=("summary", "table", "json", "markdown"),
+                   default="summary",
+                   help="summary: verdict + drifted cells (default); "
+                   "table/json/markdown: one row per drifted cell")
+    _add_execution_knobs(p)
+    _add_output(p)
+    p.set_defaults(func=commands.cmd_compare)
+
     # campaign
     p = sub.add_parser(
         "campaign",

@@ -19,11 +19,15 @@ Schema (TOML shown; JSON mirrors it)::
 
     [[grid]]                        # one or more
     collectives = ["bcast", ...]    # required
-    node_counts = [16, 64]          # required
+    node_counts = [16, 64]          # required (unless torus_dims is set)
     vector_bytes = "paper"          # optional: "paper", or a list of ints;
                                     # omitted → the system preset's grid
     algorithms = ["bine", ...]      # optional registry-name filter
     ppn = 1                         # optional ranks per node
+    torus_dims = [8, 8, 8]          # optional: run this grid on a sub-torus
+                                    # through the torus algorithm catalog
+                                    # (fugaku only, placement = "block";
+                                    # node count = prod(dims))
     [grid.max_p]                    # optional per-collective rank cap
     alltoall = 256
 
@@ -83,6 +87,10 @@ class GridSpec:
     ppn: int = 1
     #: per-collective rank-count cap (the Θ(p²) alltoall escape hatch)
     max_p: dict[str, int] | None = None
+    #: set → run this grid on a sub-torus through the torus catalog
+    #: (:data:`repro.collectives.torus.TORUS_ALGORITHMS`) instead of the
+    #: generic registry; Fig. 11b / App. D grids
+    torus_dims: tuple[int, ...] | None = None
 
 
 @dataclass(frozen=True)
@@ -146,10 +154,49 @@ def _int_tuple(values, where: str) -> tuple[int, ...]:
     return out
 
 
-def _grid_from_dict(data: dict, where: str) -> GridSpec:
+def _torus_grid_checks(
+    data: dict, collectives: tuple[str, ...], system: str, where: str
+) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Validate a ``torus_dims`` grid; returns (dims, node_counts)."""
+    from repro.collectives.torus import torus_specs
+    from repro.core.torus_opt import TorusShape
+
+    if system != "fugaku":
+        raise ManifestError(
+            f"{where}: torus_dims grids run on the torus system preset "
+            f"(system = \"fugaku\"), not {system!r}"
+        )
+    if data.get("max_p") is not None or int(data.get("ppn", 1)) != 1:
+        raise ManifestError(f"{where}: torus_dims grids take neither max_p nor ppn")
+    dims = _int_tuple(data["torus_dims"], f"{where}.torus_dims")
+    try:
+        shape = TorusShape(dims)
+    except ValueError as exc:
+        raise ManifestError(f"{where}.torus_dims: {exc}") from None
+    no_algo = [c for c in collectives if not torus_specs((c,))]
+    if no_algo:
+        known = sorted({s.collective for s in torus_specs()})
+        raise ManifestError(
+            f"{where}: no torus algorithm for collective(s) {no_algo}; "
+            f"torus catalog covers {known}"
+        )
+    node_counts = data.get("node_counts")
+    if node_counts is not None:
+        node_counts = _int_tuple(node_counts, f"{where}.node_counts")
+        if node_counts != (shape.num_ranks,):
+            raise ManifestError(
+                f"{where}: node_counts {list(node_counts)} contradicts "
+                f"torus_dims {list(dims)} (= {shape.num_ranks} ranks); "
+                "omit node_counts for torus grids"
+            )
+    return dims, (shape.num_ranks,)
+
+
+def _grid_from_dict(data: dict, where: str, system: str) -> GridSpec:
     _check_keys(
         data,
-        {"collectives", "node_counts", "vector_bytes", "algorithms", "ppn", "max_p"},
+        {"collectives", "node_counts", "vector_bytes", "algorithms", "ppn",
+         "max_p", "torus_dims"},
         where,
     )
     collectives = tuple(_require(data, "collectives", where))
@@ -158,6 +205,13 @@ def _grid_from_dict(data: dict, where: str) -> GridSpec:
     bad = [c for c in collectives if c not in COLLECTIVES]
     if bad:
         raise ManifestError(f"{where}: unknown collective(s) {bad}; have {list(COLLECTIVES)}")
+    torus_dims = None
+    if data.get("torus_dims") is not None:
+        torus_dims, node_counts = _torus_grid_checks(data, collectives, system, where)
+    else:
+        node_counts = _int_tuple(
+            _require(data, "node_counts", where), f"{where}.node_counts"
+        )
     vector_bytes = data.get("vector_bytes")
     if vector_bytes == "paper":
         vector_bytes = PAPER_VECTOR_BYTES
@@ -166,7 +220,12 @@ def _grid_from_dict(data: dict, where: str) -> GridSpec:
     algorithms = data.get("algorithms")
     if algorithms is not None:
         algorithms = tuple(str(a) for a in algorithms)
-        known = {s.name for c in collectives for s in iter_specs(c)}
+        if torus_dims is not None:
+            from repro.collectives.torus import torus_specs
+
+            known = {s.name for s in torus_specs(collectives)}
+        else:
+            known = {s.name for c in collectives for s in iter_specs(c)}
         bad = [a for a in algorithms if a not in known]
         if bad:
             raise ManifestError(
@@ -178,11 +237,12 @@ def _grid_from_dict(data: dict, where: str) -> GridSpec:
         max_p = {str(k): int(v) for k, v in max_p.items()}
     return GridSpec(
         collectives=collectives,
-        node_counts=_int_tuple(_require(data, "node_counts", where), f"{where}.node_counts"),
+        node_counts=node_counts,
         vector_bytes=vector_bytes,
         algorithms=algorithms,
         ppn=int(data.get("ppn", 1)),
         max_p=max_p,
+        torus_dims=torus_dims,
     )
 
 
@@ -222,8 +282,17 @@ def manifest_from_dict(data: dict) -> CampaignManifest:
     if not raw_grids:
         raise ManifestError("manifest: needs at least one [[grid]] section")
     grids = tuple(
-        _grid_from_dict(g, f"[[grid]] #{i}") for i, g in enumerate(raw_grids)
+        _grid_from_dict(g, f"[[grid]] #{i}", system)
+        for i, g in enumerate(raw_grids)
     )
+    # torus sweeps always run on the canonical block mapping; accepting the
+    # (default) scheduler placement would stamp provenance the records
+    # don't actually have
+    if placement != "block" and any(g.torus_dims is not None for g in grids):
+        raise ManifestError(
+            "[campaign]: torus_dims grids run on the canonical block "
+            'mapping; set placement = "block"'
+        )
     summary = None
     if "summary" in data:
         s = data["summary"]
@@ -321,6 +390,8 @@ def manifest_to_dict(manifest: CampaignManifest) -> dict:
             grid["algorithms"] = list(g.algorithms)
         if g.max_p is not None:
             grid["max_p"] = dict(g.max_p)
+        if g.torus_dims is not None:
+            grid["torus_dims"] = list(g.torus_dims)
         data["grid"].append(grid)
     if manifest.summary is not None:
         data["summary"] = {

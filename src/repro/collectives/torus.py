@@ -20,6 +20,9 @@ Implemented algorithms:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Callable
+
 from repro.collectives.butterfly_collectives import (
     allgather_butterfly,
     allreduce_recursive,
@@ -53,6 +56,9 @@ __all__ = [
     "bucket_allgather",
     "trinaryx_bcast",
     "trinaryx_reduce",
+    "TorusAlgorithmSpec",
+    "TORUS_ALGORITHMS",
+    "torus_specs",
 ]
 
 
@@ -353,3 +359,121 @@ def trinaryx_reduce(shape: TorusShape, n: int, root: int = 0, op: str = "sum") -
         )
         sched.add(Step(transfers=transfers, label=step.label))
     return sched.finalize()
+
+
+# ---------------------------------------------------------------------------
+# Torus algorithm catalog (Fig. 11b / App. D campaigns)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TorusAlgorithmSpec:
+    """Catalog entry for the torus sweep path.
+
+    Torus builders take a :class:`TorusShape` instead of a bare rank
+    count, so they cannot live in the generic registry; this parallel
+    catalog gives campaign manifests (``torus_dims`` grids) and the
+    Fugaku benches one shared source of truth.  ``build(shape)`` returns
+    the schedule at the algorithm's canonical profiling size — the exact
+    sizes ``bench_fig11b_fugaku.py`` has always used, so records stay
+    identical by construction.
+    """
+
+    collective: str
+    name: str
+    family: str
+    build: Callable[[TorusShape], Schedule]
+    description: str = ""
+
+
+def _generic(collective: str, name: str) -> Callable[[TorusShape], Schedule]:
+    def build(shape: TorusShape) -> Schedule:
+        from repro.collectives.registry import build as build_registry
+
+        p = shape.num_ranks
+        return build_registry(collective, name, p, p)
+
+    return build
+
+
+#: ``(collective, name) -> spec``; names are what campaign manifests and
+#: the Fig. 11b records use
+TORUS_ALGORITHMS: dict[tuple[str, str], TorusAlgorithmSpec] = {
+    (s.collective, s.name): s
+    for s in (
+        TorusAlgorithmSpec(
+            "allreduce", "bine-multiport", "bine",
+            lambda sh: torus_bine_allreduce_multiport(
+                sh, 2 * sh.num_dims * sh.num_ranks
+            ),
+            "2*D rotated sub-collectives driving every NIC (App. D.4)",
+        ),
+        TorusAlgorithmSpec(
+            "allreduce", "bine-torus", "bine",
+            lambda sh: torus_bine_allreduce(sh, sh.num_ranks),
+            "per-dimension Bine butterfly allreduce",
+        ),
+        TorusAlgorithmSpec(
+            "allreduce", "bine-torus-small", "bine",
+            lambda sh: torus_bine_allreduce_small(sh, sh.num_ranks),
+            "latency-optimal torus Bine allreduce (small vectors)",
+        ),
+        TorusAlgorithmSpec(
+            "allreduce", "bucket", "bucket",
+            lambda sh: bucket_allreduce(sh, sh.num_ranks),
+            "multi-dimensional ring (Jain & Sabharwal), bandwidth-optimal",
+        ),
+        TorusAlgorithmSpec(
+            "allreduce", "binomial", "binomial",
+            _generic("allreduce", "recursive-doubling"),
+            "topology-agnostic recursive doubling baseline",
+        ),
+        TorusAlgorithmSpec(
+            "allreduce", "rabenseifner", "sota",
+            _generic("allreduce", "rabenseifner"),
+            "topology-agnostic Rabenseifner baseline",
+        ),
+        TorusAlgorithmSpec(
+            "bcast", "bine-torus", "bine",
+            lambda sh: torus_bine_bcast(sh, sh.num_ranks),
+            "torus-optimised Bine tree broadcast (Fig. 16)",
+        ),
+        TorusAlgorithmSpec(
+            "bcast", "trinaryx", "trinaryx",
+            lambda sh: trinaryx_bcast(sh, sh.num_ranks),
+            "Trinaryx-like pipelined multi-chain broadcast (Fujitsu MPI)",
+        ),
+        TorusAlgorithmSpec(
+            "bcast", "binomial", "binomial",
+            _generic("bcast", "binomial-dd"),
+            "topology-agnostic binomial tree baseline",
+        ),
+        TorusAlgorithmSpec(
+            "reduce", "bine-torus", "bine",
+            lambda sh: torus_bine_reduce(sh, sh.num_ranks),
+            "reversed torus Bine tree reduce",
+        ),
+        TorusAlgorithmSpec(
+            "reduce", "trinaryx", "trinaryx",
+            lambda sh: trinaryx_reduce(sh, sh.num_ranks),
+            "Trinaryx-like pipelined multi-chain reduce",
+        ),
+        TorusAlgorithmSpec(
+            "reduce", "binomial", "binomial",
+            _generic("reduce", "binomial-dd"),
+            "topology-agnostic binomial tree baseline",
+        ),
+    )
+}
+
+
+def torus_specs(
+    collectives=None, algorithms=None
+) -> "list[TorusAlgorithmSpec]":
+    """Catalog entries in deterministic (collective, name) sort order."""
+    return [
+        spec
+        for key, spec in sorted(TORUS_ALGORITHMS.items())
+        if (collectives is None or spec.collective in collectives)
+        and (algorithms is None or spec.name in algorithms)
+    ]

@@ -1,0 +1,119 @@
+"""Baseline regression gating: freeze a campaign's records, fail on drift.
+
+Workflow (CLI: ``repro compare``; see ``docs/reporting.md``)::
+
+    $ repro compare baselines/table3.json campaigns/table3_lumi.toml --update
+    $ repro compare baselines/table3.json campaigns/table3_lumi.toml
+    ... exit 0 while the rerun matches, exit 1 naming the drifted cells
+
+The baseline file is deterministic JSON (sorted keys, no timestamps) so
+it diffs cleanly under git, and it round-trips through the record-set
+loader (:func:`repro.report.diff.load_record_set` sees the ``records``
+array and unwraps it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.analysis.sweep import SweepRecord
+from repro.cli.campaign import run_campaign
+from repro.cli.manifest import CampaignManifest, load_manifest
+from repro.report.diff import (
+    DEFAULT_TOLERANCE,
+    RecordSetDiff,
+    RecordSetError,
+    diff_record_sets,
+    load_record_set,
+    record_set_from_records,
+)
+
+__all__ = ["write_baseline", "check_baseline"]
+
+
+def write_baseline(
+    path: str | Path,
+    manifest: CampaignManifest,
+    records: list[SweepRecord],
+) -> Path:
+    """Freeze ``records`` as the committed baseline for ``manifest``.
+
+    Example::
+
+        >>> from repro.cli.manifest import manifest_from_dict
+        >>> m = manifest_from_dict({
+        ...     "campaign": {"name": "tiny", "system": "lumi"},
+        ...     "grid": [{"collectives": ["bcast"], "node_counts": [16],
+        ...               "vector_bytes": [1024], "algorithms": ["bine"]}],
+        ... })
+        >>> import tempfile, repro.cli.campaign as c
+        >>> p = write_baseline(tempfile.mktemp(suffix=".json"), m,
+        ...                    c.run_campaign(m).records)
+        >>> load_record_set(p).kind
+        'sweep'
+    """
+    path = Path(path)
+    payload = {
+        "baseline_of": manifest.name,
+        "system": manifest.system,
+        "placement": manifest.placement,
+        "seed": manifest.seed,
+        "busy_fraction": manifest.busy_fraction,
+        "records": [r.to_dict() for r in records],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def check_baseline(
+    baseline_path: str | Path,
+    manifest_path: str | Path,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    workers: int | None = None,
+    disk_dir: str | os.PathLike | None = None,
+) -> RecordSetDiff:
+    """Rerun the campaign and diff it against the frozen baseline.
+
+    Returns the :class:`RecordSetDiff`; callers gate on ``.drifted``
+    (``repro compare`` turns it into exit code 1).  A baseline frozen
+    from a *different* campaign context (system/placement/seed/busy
+    fraction) is rejected outright — cell-level record identity would be
+    meaningless across contexts.
+    """
+    baseline = load_record_set(baseline_path)
+    manifest = load_manifest(manifest_path)
+    _check_provenance(baseline_path, manifest)
+    result = run_campaign(manifest, workers=workers, disk_dir=disk_dir)
+    rerun = record_set_from_records(result.records, label=str(manifest_path))
+    return diff_record_sets(baseline, rerun, tolerance=tolerance)
+
+
+def _check_provenance(baseline_path: str | Path, manifest: CampaignManifest) -> None:
+    """Reject gating a manifest against a baseline of another context."""
+    payload = json.loads(Path(baseline_path).read_text())
+    if not isinstance(payload, dict):
+        return  # a bare records array carries no provenance to check
+    expected = {
+        "system": manifest.system,
+        "placement": manifest.placement,
+        "seed": manifest.seed,
+        "busy_fraction": manifest.busy_fraction,
+    }
+    mismatched = {
+        key: (payload[key], want)
+        for key, want in expected.items()
+        if key in payload and payload[key] != want
+    }
+    if mismatched:
+        detail = "; ".join(
+            f"{k}: baseline {a!r} vs manifest {b!r}"
+            for k, (a, b) in sorted(mismatched.items())
+        )
+        raise RecordSetError(
+            f"{baseline_path}: baseline context does not match the "
+            f"manifest ({detail})"
+        )

@@ -1,0 +1,408 @@
+"""Record-set diffing: align two record sets cell by cell and classify drift.
+
+The loader understands every machine-readable record shape the repo
+emits, keyed so reruns line up cell for cell:
+
+* **sweep** — a JSON array of :data:`~repro.analysis.sweep.RECORD_FIELDS`
+  objects (``repro sweep/campaign --format json``), keyed by
+  ``(system, collective, algorithm, p, n_bytes)`` and compared on
+  ``family`` / ``time`` / ``global_bytes``;
+* **verify** — a JSON array of
+  :data:`~repro.analysis.verifygrid.VERIFY_FIELDS` objects
+  (``repro verify --format json``), keyed by
+  ``(collective, algorithm, p, n, seeds, engine)`` and compared on
+  ``status`` / ``detail`` (``elapsed_s`` is wall-clock noise, ignored);
+* **baseline** — a JSON object with a ``records`` array (written by
+  :mod:`repro.report.baseline`), unwrapped to its inner kind;
+* **metrics** — any other JSON object (e.g. the repo-root
+  ``BENCH_sweep.json`` / ``BENCH_verify.json`` timing blobs), flattened
+  to dotted scalar paths so two benchmark runs diff like record sets.
+
+Numeric fields drift when the relative difference exceeds the tolerance;
+non-numeric fields compare exactly.  ``diff.drifted`` is the single gate
+``repro compare`` turns into its exit code.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.analysis.sweep import RECORD_FIELDS, SweepRecord
+from repro.analysis.verifygrid import VERIFY_FIELDS
+
+__all__ = [
+    "RecordSetError",
+    "RecordSet",
+    "FieldChange",
+    "CellChange",
+    "RecordSetDiff",
+    "DEFAULT_TOLERANCE",
+    "record_set_from_records",
+    "load_record_set",
+    "diff_record_sets",
+]
+
+#: default relative tolerance: reruns of the deterministic model must be
+#: bit-identical, so anything beyond float-noise counts as drift
+DEFAULT_TOLERANCE = 1e-9
+
+_SWEEP_KEY = ("system", "collective", "algorithm", "p", "n_bytes")
+_SWEEP_VALUES = ("family", "time", "global_bytes")
+_VERIFY_KEY = ("collective", "algorithm", "p", "n", "seeds", "engine")
+_VERIFY_VALUES = ("status", "detail")
+
+#: key/value field split per record-set kind
+KIND_FIELDS = {
+    "sweep": (_SWEEP_KEY, _SWEEP_VALUES),
+    "verify": (_VERIFY_KEY, _VERIFY_VALUES),
+    "metrics": (("metric",), ("value",)),
+}
+
+
+class RecordSetError(ValueError):
+    """A file could not be interpreted as any known record-set shape."""
+
+
+@dataclass(frozen=True)
+class RecordSet:
+    """One comparable set of cells: ``kind`` fixes keying and value fields."""
+
+    label: str
+    kind: str
+    rows: Mapping[tuple, Mapping[str, object]]
+
+    @property
+    def key_fields(self) -> tuple[str, ...]:
+        return KIND_FIELDS[self.kind][0]
+
+    @property
+    def value_fields(self) -> tuple[str, ...]:
+        return KIND_FIELDS[self.kind][1]
+
+    def key_str(self, key: tuple) -> str:
+        """Human-readable cell identity, e.g. ``collective=bcast p=16``."""
+        if self.kind == "metrics":
+            return str(key[0])
+        return " ".join(f"{f}={v}" for f, v in zip(self.key_fields, key))
+
+    def to_records(self) -> list[SweepRecord]:
+        """Rebuild :class:`SweepRecord` objects (sweep-kind sets only)."""
+        if self.kind != "sweep":
+            raise RecordSetError(
+                f"{self.label}: cannot rebuild sweep records from a "
+                f"{self.kind!r} record set"
+            )
+        return [
+            SweepRecord(**dict(zip(self.key_fields, key)), **values)
+            for key, values in self.rows.items()
+        ]
+
+
+def record_set_from_records(
+    records: Sequence[SweepRecord], label: str = "records"
+) -> RecordSet:
+    """In-memory sweep records as a diffable set (no file round-trip).
+
+    Example::
+
+        >>> r = SweepRecord("lumi", "bcast", "bine", "bine", 16, 32, 1e-6, 64.0)
+        >>> record_set_from_records([r]).kind
+        'sweep'
+    """
+    return _sweep_set([r.to_dict() for r in records], label)
+
+
+def _keyed_set(
+    rows: Sequence[dict], label: str, kind: str,
+    key_fields: tuple[str, ...], value_fields: tuple[str, ...],
+) -> RecordSet:
+    out: dict[tuple, dict] = {}
+    for i, row in enumerate(rows):
+        try:
+            key = tuple(row[f] for f in key_fields)
+            values = {f: row[f] for f in value_fields}
+        except KeyError as exc:
+            raise RecordSetError(
+                f"{label}: row #{i} is missing {kind} field {exc.args[0]!r}"
+            ) from None
+        if key in out:
+            raise RecordSetError(
+                f"{label}: duplicate {kind} cell {key} (records differing "
+                "only in ppn/placement/seed share all key fields — diff "
+                "such grids as separate record sets)"
+            )
+        out[key] = values
+    return RecordSet(label, kind, out)
+
+
+def _sweep_set(rows: Sequence[dict], label: str) -> RecordSet:
+    return _keyed_set(rows, label, "sweep", _SWEEP_KEY, _SWEEP_VALUES)
+
+
+def _verify_set(rows: Sequence[dict], label: str) -> RecordSet:
+    return _keyed_set(rows, label, "verify", _VERIFY_KEY, _VERIFY_VALUES)
+
+
+def _flatten(data, prefix: str, out: dict) -> None:
+    if isinstance(data, dict):
+        for k in sorted(data):
+            _flatten(data[k], f"{prefix}.{k}" if prefix else str(k), out)
+    elif isinstance(data, list):
+        for i, v in enumerate(data):
+            _flatten(v, f"{prefix}[{i}]", out)
+    else:
+        out[(prefix,)] = {"value": data}
+
+
+def _metrics_set(data: dict, label: str) -> RecordSet:
+    out: dict[tuple, dict] = {}
+    _flatten(data, "", out)
+    return RecordSet(label, "metrics", out)
+
+
+def load_record_set(path: str | Path, label: str | None = None) -> RecordSet:
+    """Load any repo-emitted JSON into a diffable :class:`RecordSet`.
+
+    Example::
+
+        >>> load_record_set("BENCH_sweep.json").kind  # doctest: +SKIP
+        'metrics'
+    """
+    path = Path(path)
+    label = label or str(path)
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise RecordSetError(f"{label}: not valid JSON ({exc})") from None
+    return record_set_from_json(data, label)
+
+
+def record_set_from_json(data, label: str) -> RecordSet:
+    """Classify parsed JSON into sweep / verify / baseline / metrics."""
+    if isinstance(data, dict) and isinstance(data.get("records"), list):
+        return record_set_from_json(data["records"], label)
+    if isinstance(data, list):
+        if not data:
+            return RecordSet(label, "sweep", {})
+        if not all(isinstance(r, dict) for r in data):
+            raise RecordSetError(f"{label}: record arrays must hold objects")
+        keys = set(data[0])
+        if set(RECORD_FIELDS) <= keys:
+            return _sweep_set(data, label)
+        if set(VERIFY_FIELDS) <= keys:
+            return _verify_set(data, label)
+        raise RecordSetError(
+            f"{label}: array objects match neither sweep fields "
+            f"{RECORD_FIELDS} nor verify fields {VERIFY_FIELDS}"
+        )
+    if isinstance(data, dict):
+        return _metrics_set(data, label)
+    raise RecordSetError(f"{label}: top-level JSON must be an array or object")
+
+
+# -- diffing -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FieldChange:
+    """One drifted field inside a changed cell."""
+
+    field: str
+    a: object
+    b: object
+    #: relative difference for numeric fields, ``None`` for exact mismatches
+    rel: float | None
+
+
+@dataclass(frozen=True)
+class CellChange:
+    key: tuple
+    fields: tuple[FieldChange, ...]
+
+
+@dataclass
+class RecordSetDiff:
+    """Cell-aligned comparison of two record sets of the same kind."""
+
+    a: RecordSet
+    b: RecordSet
+    tolerance: float
+    added: list[tuple] = field(default_factory=list)
+    removed: list[tuple] = field(default_factory=list)
+    changed: list[CellChange] = field(default_factory=list)
+    unchanged: int = 0
+
+    @property
+    def drifted(self) -> bool:
+        """True when anything differs — the ``repro compare`` gate."""
+        return bool(self.added or self.removed or self.changed)
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (sorted, deterministic)."""
+        return {
+            "a": self.a.label,
+            "b": self.b.label,
+            "kind": self.a.kind,
+            "tolerance": self.tolerance,
+            "cells": {
+                "a": len(self.a.rows),
+                "b": len(self.b.rows),
+                "unchanged": self.unchanged,
+                "added": len(self.added),
+                "removed": len(self.removed),
+                "changed": len(self.changed),
+            },
+            "drifted": self.drifted,
+            "added": [self.a.key_str(k) for k in self.added],
+            "removed": [self.a.key_str(k) for k in self.removed],
+            "changed": [
+                {
+                    "cell": self.a.key_str(c.key),
+                    "fields": [
+                        {"field": f.field, "a": f.a, "b": f.b, "rel": f.rel}
+                        for f in c.fields
+                    ],
+                }
+                for c in self.changed
+            ],
+        }
+
+
+def _field_change(name: str, va, vb, tolerance: float) -> FieldChange | None:
+    num_a = isinstance(va, (int, float)) and not isinstance(va, bool)
+    num_b = isinstance(vb, (int, float)) and not isinstance(vb, bool)
+    if num_a and num_b:
+        if va == vb:
+            return None
+        rel = abs(va - vb) / max(abs(va), abs(vb))
+        if rel <= tolerance:
+            return None
+        return FieldChange(name, va, vb, rel)
+    if va == vb:
+        return None
+    return FieldChange(name, va, vb, None)
+
+
+def diff_record_sets(
+    a: RecordSet, b: RecordSet, tolerance: float = DEFAULT_TOLERANCE
+) -> RecordSetDiff:
+    """Align ``a`` (reference) and ``b`` (candidate) cell by cell.
+
+    Cells only in ``b`` are *added*, only in ``a`` *removed*; common
+    cells whose value fields differ beyond ``tolerance`` are *changed*.
+
+    Example::
+
+        >>> r = SweepRecord("lumi", "bcast", "bine", "bine", 16, 32, 1e-6, 64.0)
+        >>> d = diff_record_sets(record_set_from_records([r]),
+        ...                      record_set_from_records([r]))
+        >>> d.drifted, d.unchanged
+        (False, 1)
+    """
+    if a.kind != b.kind:
+        raise RecordSetError(
+            f"cannot diff {a.kind!r} ({a.label}) against {b.kind!r} ({b.label})"
+        )
+    diff = RecordSetDiff(a, b, tolerance)
+    keys_a, keys_b = set(a.rows), set(b.rows)
+    diff.added = sorted(keys_b - keys_a, key=repr)
+    diff.removed = sorted(keys_a - keys_b, key=repr)
+    for key in sorted(keys_a & keys_b, key=repr):
+        row_a, row_b = a.rows[key], b.rows[key]
+        changes = [
+            c
+            for name in a.value_fields
+            if (c := _field_change(name, row_a.get(name), row_b.get(name),
+                                   tolerance)) is not None
+        ]
+        if changes:
+            diff.changed.append(CellChange(key, tuple(changes)))
+        else:
+            diff.unchanged += 1
+    return diff
+
+
+# -- renderers ---------------------------------------------------------------
+
+
+def _fmt_value(v: object) -> str:
+    if isinstance(v, float):
+        return f"{v:.6g}"
+    return str(v)
+
+
+def diff_summary(diff: RecordSetDiff, max_cells: int = 20) -> str:
+    """Human-readable drift report: verdict line plus the drifted cells."""
+    lines = [
+        f"compare [{diff.a.kind}] {diff.a.label} vs {diff.b.label}",
+        f"cells: {len(diff.a.rows)} vs {len(diff.b.rows)} "
+        f"({diff.unchanged} unchanged, {len(diff.changed)} changed, "
+        f"{len(diff.added)} added, {len(diff.removed)} removed; "
+        f"rel tolerance {diff.tolerance:g})",
+    ]
+    shown = 0
+    for change in diff.changed:
+        if shown == max_cells:
+            lines.append(f"  ... ({len(diff.changed) - max_cells} more changed)")
+            break
+        detail = "; ".join(
+            f"{f.field}: {_fmt_value(f.a)} -> {_fmt_value(f.b)}"
+            + (f" (rel {f.rel:.3g})" if f.rel is not None else "")
+            for f in change.fields
+        )
+        lines.append(f"  changed {diff.a.key_str(change.key)}: {detail}")
+        shown += 1
+    for title, keys in (("added", diff.added), ("removed", diff.removed)):
+        for key in keys[:max_cells]:
+            lines.append(f"  {title} {diff.a.key_str(key)}")
+        if len(keys) > max_cells:
+            lines.append(f"  ... ({len(keys) - max_cells} more {title})")
+    lines.append("DRIFT" if diff.drifted else "identical within tolerance")
+    return "\n".join(lines)
+
+
+def diff_table(diff: RecordSetDiff) -> str:
+    """One aligned row per drifted cell (empty when clean)."""
+    hdr = f"{'status':<9}{'cell':<58}{'field':<14}{'a':>14}{'b':>14}"
+    lines = [hdr, "-" * len(hdr)]
+    for change in diff.changed:
+        for f in change.fields:
+            lines.append(
+                f"{'changed':<9}{diff.a.key_str(change.key):<58}"
+                f"{f.field:<14}{_fmt_value(f.a):>14}{_fmt_value(f.b):>14}"
+            )
+    for key in diff.added:
+        lines.append(f"{'added':<9}{diff.a.key_str(key):<58}{'':<14}{'-':>14}{'+':>14}")
+    for key in diff.removed:
+        lines.append(f"{'removed':<9}{diff.a.key_str(key):<58}{'':<14}{'+':>14}{'-':>14}")
+    return "\n".join(lines)
+
+
+def diff_json(diff: RecordSetDiff) -> str:
+    return json.dumps(diff.to_dict(), indent=2)
+
+
+def diff_markdown(diff: RecordSetDiff) -> str:
+    """Drifted cells as a GitHub-flavoured Markdown table."""
+    lines = [
+        f"**{diff.a.label}** vs **{diff.b.label}** ({diff.a.kind}): "
+        f"{diff.unchanged} unchanged, {len(diff.changed)} changed, "
+        f"{len(diff.added)} added, {len(diff.removed)} removed",
+        "",
+        "| status | cell | field | a | b |",
+        "|---|---|---|---|---|",
+    ]
+    for change in diff.changed:
+        for f in change.fields:
+            lines.append(
+                f"| changed | {diff.a.key_str(change.key)} | {f.field} "
+                f"| {_fmt_value(f.a)} | {_fmt_value(f.b)} |"
+            )
+    for key in diff.added:
+        lines.append(f"| added | {diff.a.key_str(key)} |  |  |  |")
+    for key in diff.removed:
+        lines.append(f"| removed | {diff.a.key_str(key)} |  |  |  |")
+    return "\n".join(lines)

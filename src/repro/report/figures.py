@@ -1,0 +1,237 @@
+"""SVG renderings of the paper's figures (Figs. 9a/10a heatmaps, 5/9b/10b/11a/11b boxplots).
+
+The data layer is :mod:`repro.analysis.summarize` /
+:mod:`repro.analysis.boxplot` — the same cells and five-number summaries
+the text renderers consume — so a figure can never disagree with the
+``repro sweep`` summary printed from the same records.  Rendering goes
+through :class:`repro.report.svg.SvgCanvas`, whose determinism contract
+(fixed float formatting, no timestamps) makes every figure byte-stable
+across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.analysis.boxplot import BoxStats, box_stats
+from repro.analysis.heatmap import FAMILY_LETTERS, family_letter, human_bytes
+from repro.analysis.summarize import (
+    best_algorithm_cells,
+    bine_improvement_distribution,
+)
+from repro.analysis.sweep import SweepRecord
+from repro.report.svg import SvgCanvas
+
+__all__ = [
+    "FAMILY_COLORS",
+    "heatmap_svg",
+    "boxplot_svg",
+    "heatmap_figure",
+    "boxplot_figure",
+]
+
+#: fill colors per algorithm family (Bine highlighted; sorted legend order
+#: comes from FAMILY_LETTERS so new families fail loudly, not silently grey)
+FAMILY_COLORS = {
+    "bine": "#2f7ed8",
+    "binomial": "#f28f43",
+    "ring": "#8bbc21",
+    "bruck": "#c42525",
+    "swing": "#910000",
+    "linear": "#777777",
+    "sota": "#1aadce",
+    "bucket": "#492970",
+    "trinaryx": "#77a1e5",
+}
+
+_CELL_W = 58.0
+_CELL_H = 26.0
+_LEFT = 84.0
+_TOP = 48.0
+
+
+def _family_color(family: str) -> str:
+    return FAMILY_COLORS.get(family, "#bbbbbb")
+
+
+def heatmap_svg(
+    cells: Mapping[tuple[int, int], tuple[SweepRecord, float | None]],
+    node_counts: Sequence[int],
+    vector_bytes: Sequence[int],
+    title: str = "",
+) -> str:
+    """The Fig. 9a-style grid as a standalone SVG document.
+
+    Rows are vector sizes, columns node counts; each cell is filled with
+    the winning family's color and labelled with the family letter — or,
+    when Bine wins, the speedup ratio over the best non-Bine algorithm.
+    Missing grid cells render as hatched grey.
+    """
+    note = ("letters = best non-Bine family; "
+            "numbers = Bine speedup over next best")
+    legend_families = sorted(
+        {best.family for best, _ in cells.values() if best.family != "bine"}
+    )
+    legend_w = sum(24 + 7.2 * (len(f) + 2) for f in legend_families)
+    width = _LEFT + 16 + max(
+        _CELL_W * len(node_counts), 6.1 * len(note), legend_w
+    )
+    height = _TOP + _CELL_H * len(vector_bytes) + 56
+    canvas = SvgCanvas(width, height)
+    if title:
+        canvas.text(_LEFT, 18, title, size=13, weight="bold")
+    canvas.text(_LEFT - 6, _TOP - 8, "size \\ nodes", size=10, anchor="end",
+                fill="#555555")
+    for col, p in enumerate(node_counts):
+        canvas.text(
+            _LEFT + _CELL_W * (col + 0.5), _TOP - 8, str(p),
+            size=11, anchor="middle", weight="bold",
+        )
+    for row, nb in enumerate(vector_bytes):
+        y = _TOP + _CELL_H * row
+        canvas.text(
+            _LEFT - 6, y + _CELL_H / 2 + 4, human_bytes(nb),
+            size=11, anchor="end",
+        )
+        for col, p in enumerate(node_counts):
+            x = _LEFT + _CELL_W * col
+            entry = cells.get((p, nb))
+            if entry is None:
+                canvas.rect(x, y, _CELL_W, _CELL_H, fill="#eeeeee",
+                            stroke="#cccccc", title=f"p={p} {human_bytes(nb)}: no record")
+                canvas.text(x + _CELL_W / 2, y + _CELL_H / 2 + 4, "·",
+                            size=11, anchor="middle", fill="#999999")
+                continue
+            best, ratio = entry
+            tooltip = (
+                f"p={p} {human_bytes(nb)}: {best.algorithm} "
+                f"({best.family}) t={best.time:.3e}"
+            )
+            canvas.rect(x, y, _CELL_W, _CELL_H, fill=_family_color(best.family),
+                        stroke="#ffffff", title=tooltip)
+            if best.family == "bine":
+                label = f"{ratio:.2f}" if ratio else "BINE"
+            else:
+                label = family_letter(best.family)
+            canvas.text(x + _CELL_W / 2, y + _CELL_H / 2 + 4, label,
+                        size=11, anchor="middle", fill="#ffffff", weight="bold")
+    legend_y = _TOP + _CELL_H * len(vector_bytes) + 20
+    canvas.text(_LEFT, legend_y, note, size=10, fill="#555555")
+    x = _LEFT
+    for family in legend_families:
+        canvas.rect(x, legend_y + 8, 10, 10, fill=_family_color(family))
+        canvas.text(x + 14, legend_y + 17,
+                    f"{family_letter(family)}={family}", size=10)
+        x += 24 + 7.2 * (len(family) + 2)
+    return canvas.render()
+
+
+def boxplot_svg(
+    groups: Sequence[tuple[str, BoxStats | None]],
+    title: str = "",
+    unit: str = "%",
+) -> str:
+    """Fig. 9b-style boxplots: one (label, stats) box per group.
+
+    ``None`` stats render as a labelled empty slot ("no winning cells"),
+    so a collective Bine never wins still occupies its column.  Whiskers
+    are the paper's 1.5 IQR convention (already folded into
+    :class:`BoxStats`); the mean is the small diamond.
+    """
+    slot_w = 86.0
+    plot_h = 180.0
+    left, top = 64.0, 40.0
+    footer = "box = Q1..Q3, line = median, diamond = mean, whiskers = 1.5 IQR"
+    width = left + 16 + max(slot_w * max(len(groups), 1), 6.1 * len(footer))
+    height = top + plot_h + 52
+    canvas = SvgCanvas(width, height)
+    if title:
+        canvas.text(left, 18, title, size=13, weight="bold")
+    stats = [s for _, s in groups if s is not None]
+    lo = min([min(0.0, s.whisker_lo) for s in stats], default=0.0)
+    hi = max([s.whisker_hi for s in stats], default=1.0)
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+
+    def y_of(v: float) -> float:
+        return top + plot_h * (1 - (v - lo) / span)
+
+    # frame + five horizontal gridlines with tick labels
+    canvas.rect(left, top, slot_w * len(groups), plot_h, fill="none",
+                stroke="#999999")
+    for i in range(5):
+        v = lo + span * i / 4
+        y = y_of(v)
+        canvas.line(left, y, left + slot_w * len(groups), y,
+                    stroke="#dddddd")
+        canvas.text(left - 6, y + 4, f"{v:.3g}{unit}", size=10, anchor="end")
+    for i, (label, s) in enumerate(groups):
+        cx = left + slot_w * (i + 0.5)
+        canvas.text(cx, top + plot_h + 16, label, size=10, anchor="middle")
+        if s is None:
+            canvas.text(cx, top + plot_h / 2, "no winning", size=9,
+                        anchor="middle", fill="#999999")
+            canvas.text(cx, top + plot_h / 2 + 11, "cells", size=9,
+                        anchor="middle", fill="#999999")
+            continue
+        box_w = slot_w * 0.46
+        canvas.line(cx, y_of(s.whisker_lo), cx, y_of(s.whisker_hi),
+                    stroke="#333333")
+        for w in (s.whisker_lo, s.whisker_hi):
+            canvas.line(cx - box_w / 4, y_of(w), cx + box_w / 4, y_of(w),
+                        stroke="#333333")
+        y_q3, y_q1 = y_of(s.q3), y_of(s.q1)
+        canvas.rect(cx - box_w / 2, y_q3, box_w, max(y_q1 - y_q3, 0.5),
+                    fill="#c6dbef", stroke="#2f7ed8",
+                    title=f"{label}: n={s.count} med={s.median:.2f}{unit}")
+        canvas.line(cx - box_w / 2, y_of(s.median), cx + box_w / 2,
+                    y_of(s.median), stroke="#1a4f8a", stroke_width=2.0)
+        ym = y_of(s.mean)
+        canvas.line(cx - 4, ym, cx, ym - 4, stroke="#c42525")
+        canvas.line(cx, ym - 4, cx + 4, ym, stroke="#c42525")
+        canvas.line(cx + 4, ym, cx, ym + 4, stroke="#c42525")
+        canvas.line(cx, ym + 4, cx - 4, ym, stroke="#c42525")
+        canvas.text(cx, top + plot_h + 30, f"n={s.count}", size=9,
+                    anchor="middle", fill="#555555")
+    canvas.text(left, top + plot_h + 46, footer, size=10, fill="#555555")
+    return canvas.render()
+
+
+def heatmap_figure(
+    records: Sequence[SweepRecord], collective: str, title: str = ""
+) -> str:
+    """Heatmap SVG for one collective, axes derived from the records.
+
+    Example::
+
+        >>> from repro.analysis.sweep import SweepRecord
+        >>> recs = [SweepRecord("s", "bcast", "bine", "bine", 16, 32, 1e-6, 8.0)]
+        >>> heatmap_figure(recs, "bcast").startswith("<svg")
+        True
+    """
+    own = [r for r in records if r.collective == collective]
+    node_counts = sorted({r.p for r in own})
+    vector_bytes = sorted({r.n_bytes for r in own})
+    cells = best_algorithm_cells(own, collective)
+    return heatmap_svg(cells, node_counts, vector_bytes,
+                       title or f"{collective}: best algorithm per cell")
+
+
+def boxplot_figure(
+    records: Sequence[SweepRecord],
+    collectives: Sequence[str],
+    title: str = "",
+) -> str:
+    """Boxplot SVG of Bine's improvement distribution per collective."""
+    groups: list[tuple[str, BoxStats | None]] = []
+    for coll in collectives:
+        try:
+            pct, improvements = bine_improvement_distribution(records, coll)
+        except ValueError:
+            continue  # collective absent from this record set
+        label = f"{coll} ({pct:.0f}%)"
+        groups.append((label, box_stats(improvements) if improvements else None))
+    return boxplot_svg(
+        groups, title or "Bine improvement where it wins", unit="%"
+    )

@@ -1,0 +1,124 @@
+"""A minimal, byte-deterministic SVG canvas (no third-party deps).
+
+Determinism contract (golden-snapshot tests depend on it):
+
+* every coordinate goes through :func:`fmt` — fixed two-decimal
+  formatting with trailing zeros trimmed, ``-0`` normalised to ``0``;
+* attributes are emitted in fixed (call-site) order, elements in call
+  order — no dict-iteration or set-iteration anywhere;
+* no timestamps, hostnames, random ids, or float ``repr`` round-trips.
+
+Rendering the same data twice therefore produces the same bytes, on any
+platform, which is what lets ``tests/data/golden_*.svg`` be asserted
+byte-for-byte in tier-1.
+"""
+
+from __future__ import annotations
+
+from html import escape
+
+__all__ = ["fmt", "SvgCanvas"]
+
+
+def fmt(value: float | int) -> str:
+    """Fixed-format a coordinate: ``12`` / ``12.5`` / ``0.25``.
+
+    Example::
+
+        >>> fmt(12.0), fmt(12.50), fmt(-0.0001), fmt(3)
+        ('12', '12.5', '0', '3')
+    """
+    if isinstance(value, int):
+        return str(value)
+    text = f"{value:.2f}".rstrip("0").rstrip(".")
+    return "0" if text in ("-0", "") else text
+
+
+class SvgCanvas:
+    """Accumulates SVG elements and renders one standalone document.
+
+    Example::
+
+        >>> c = SvgCanvas(40, 20)
+        >>> c.rect(0, 0, 40, 20, fill="#fff")
+        >>> c.render().startswith('<svg xmlns="http://www.w3.org/2000/svg"')
+        True
+    """
+
+    def __init__(self, width: float, height: float):
+        self.width = width
+        self.height = height
+        self._parts: list[str] = []
+
+    def rect(
+        self,
+        x: float,
+        y: float,
+        w: float,
+        h: float,
+        fill: str,
+        stroke: str | None = None,
+        stroke_width: float = 1.0,
+        title: str | None = None,
+    ) -> None:
+        attrs = (
+            f'x="{fmt(x)}" y="{fmt(y)}" width="{fmt(w)}" height="{fmt(h)}" '
+            f'fill="{fill}"'
+        )
+        if stroke is not None:
+            attrs += f' stroke="{stroke}" stroke-width="{fmt(stroke_width)}"'
+        if title is None:
+            self._parts.append(f"<rect {attrs}/>")
+        else:
+            self._parts.append(
+                f"<rect {attrs}><title>{escape(title)}</title></rect>"
+            )
+
+    def line(
+        self,
+        x1: float,
+        y1: float,
+        x2: float,
+        y2: float,
+        stroke: str = "#333333",
+        stroke_width: float = 1.0,
+        dash: str | None = None,
+    ) -> None:
+        attrs = (
+            f'x1="{fmt(x1)}" y1="{fmt(y1)}" x2="{fmt(x2)}" y2="{fmt(y2)}" '
+            f'stroke="{stroke}" stroke-width="{fmt(stroke_width)}"'
+        )
+        if dash is not None:
+            attrs += f' stroke-dasharray="{dash}"'
+        self._parts.append(f"<line {attrs}/>")
+
+    def text(
+        self,
+        x: float,
+        y: float,
+        content: str,
+        size: float = 11,
+        anchor: str = "start",
+        fill: str = "#111111",
+        weight: str | None = None,
+    ) -> None:
+        attrs = (
+            f'x="{fmt(x)}" y="{fmt(y)}" font-size="{fmt(size)}" '
+            f'font-family="monospace" text-anchor="{anchor}" fill="{fill}"'
+        )
+        if weight is not None:
+            attrs += f' font-weight="{weight}"'
+        self._parts.append(f"<text {attrs}>{escape(content)}</text>")
+
+    def render(self) -> str:
+        """The full SVG document, one element per line."""
+        head = (
+            '<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{fmt(self.width)}" height="{fmt(self.height)}" '
+            f'viewBox="0 0 {fmt(self.width)} {fmt(self.height)}">'
+        )
+        background = (
+            f'<rect x="0" y="0" width="{fmt(self.width)}" '
+            f'height="{fmt(self.height)}" fill="#ffffff"/>'
+        )
+        return "\n".join([head, background, *self._parts, "</svg>"])

@@ -3,7 +3,13 @@
 import pytest
 
 from repro.analysis.boxplot import box_stats, format_box_row
-from repro.analysis.heatmap import human_bytes, render_heatmap
+from repro.analysis.heatmap import (
+    FAMILY_LETTERS,
+    families_without_letter,
+    family_letter,
+    human_bytes,
+    render_heatmap,
+)
 from repro.analysis.jobs import allreduce_traffic_reduction, run_study
 from repro.analysis.summarize import (
     best_algorithm_cells,
@@ -111,6 +117,65 @@ class TestRendering:
     def test_box_stats_empty(self):
         with pytest.raises(ValueError):
             box_stats([])
+
+    def test_box_stats_single_sample(self):
+        stats = box_stats([7.5])
+        assert stats.count == 1
+        assert stats.q1 == stats.median == stats.q3 == 7.5
+        assert stats.whisker_lo == stats.whisker_hi == 7.5
+        assert stats.mean == stats.min == stats.max == 7.5
+
+    def test_box_stats_zero_iqr(self):
+        # all-identical values: IQR is 0, whiskers must collapse, not crash
+        stats = box_stats([3.0] * 12)
+        assert stats.q1 == stats.q3 == stats.median == 3.0
+        assert stats.whisker_lo == stats.whisker_hi == 3.0
+
+
+class TestFamilyLetters:
+    def mk(self, family, p=8, nb=1024):
+        return SweepRecord("s", "bcast", "algo", family, p, nb, 1e-6, 8.0)
+
+    def test_known_letters(self):
+        assert family_letter("ring") == "R"
+        assert family_letter("binomial") == "N"
+
+    def test_unknown_family_fails_loudly(self):
+        with pytest.raises(ValueError, match="carrier-pigeon"):
+            family_letter("carrier-pigeon")
+
+    def test_registry_families_all_covered(self):
+        # a newly registered family without a FAMILY_LETTERS entry would
+        # break heatmap rendering — fail here first, naming the family
+        assert families_without_letter() == []
+
+    def test_render_heatmap_unknown_family_fails_loudly(self):
+        cells = {(8, 1024): (self.mk("carrier-pigeon"), None)}
+        with pytest.raises(ValueError, match="carrier-pigeon"):
+            render_heatmap(cells, (8,), (1024,))
+
+    def test_render_heatmap_missing_cells_blank(self):
+        # only one of four grid cells present: the rest render as blanks
+        cells = {(8, 1024): (self.mk("ring"), None)}
+        text = render_heatmap(cells, (8, 32), (1024, 65536))
+        assert "R" in text
+        assert len([ln for ln in text.splitlines() if ln.strip()]) >= 4
+
+    def test_render_heatmap_non_pow2_nodes(self):
+        cells = {
+            (6, 1024): (self.mk("ring", p=6), None),
+            (24, 1024): (self.mk("bine", p=24), 1.23),
+        }
+        text = render_heatmap(cells, (6, 24), (1024,), title="non-pow2")
+        assert "non-pow2" in text and "1.23" in text
+
+    def test_render_heatmap_bine_without_ratio(self):
+        cells = {(8, 1024): (self.mk("bine"), None)}
+        assert "BINE" in render_heatmap(cells, (8,), (1024,))
+
+    def test_letters_are_unique(self):
+        letters = list(FAMILY_LETTERS.values())
+        assert len(letters) == len(set(letters))
 
 
 class TestFig5Study:

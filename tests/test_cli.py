@@ -322,20 +322,235 @@ class TestManifest:
 
     def test_shipped_manifests_load(self):
         campaigns = sorted((REPO_ROOT / "campaigns").glob("*.toml"))
-        assert len(campaigns) >= 3
+        assert len(campaigns) >= 5
         systems = set()
         for path in campaigns:
             m = load_manifest(path)
             systems.add(m.system)
-            assert m.grids and m.summary is not None
-            assert m.summary.baseline_for("alltoall") == "bruck"
-        assert {"lumi", "leonardo", "marenostrum5"} <= systems
+            assert m.grids
+            if m.system == "fugaku":  # the torus studies carry no duel table
+                assert all(g.torus_dims is not None for g in m.grids)
+            else:
+                assert m.summary is not None
+                assert m.summary.baseline_for("alltoall") == "bruck"
+        assert {"lumi", "leonardo", "marenostrum5", "fugaku"} <= systems
 
     def test_paper_vector_keyword(self):
         data = json.loads(json.dumps(TINY_MANIFEST))
         data["grid"][0]["vector_bytes"] = "paper"
         m = manifest_from_dict(data)
         assert m.grids[0].vector_bytes == tuple(32 * 8**k for k in range(9))
+
+
+# -- repro plot --------------------------------------------------------------
+
+
+class TestPlot:
+    #: the acceptance slice of the Table 3 manifest: real file, tiny grid
+    TABLE3_PLOT = [
+        "plot", "--manifest", str(REPO_ROOT / "campaigns" / "table3_lumi.toml"),
+        "--collective", "bcast", "--collective", "allreduce",
+        "--nodes", "16,64", "--sizes", "2048,131072",
+    ]
+
+    def test_manifest_renders_figures(self, tmp_path, capsys):
+        out = tmp_path / "report"
+        assert main(self.TABLE3_PLOT + ["--out", str(out)]) == 0
+        names = {p.name for p in out.iterdir()}
+        assert {"heatmap_bcast.svg", "heatmap_allreduce.svg",
+                "boxplot_improvement.svg", "index.md", "index.html"} == names
+        index = (out / "index.md").read_text()
+        assert "table3_lumi.toml" in index and "sha256" in index
+        for svg in names - {"index.md", "index.html"}:
+            assert (out / svg).read_text().startswith("<svg")
+
+    def test_byte_deterministic_across_runs(self, tmp_path, capsys):
+        """Acceptance: two runs of the same plot produce identical bytes."""
+        for sub in ("r1", "r2"):
+            assert main(self.TABLE3_PLOT + ["--out", str(tmp_path / sub)]) == 0
+        capsys.readouterr()
+        files = sorted(p.name for p in (tmp_path / "r1").iterdir())
+        assert files
+        for name in files:
+            assert (tmp_path / "r1" / name).read_bytes() == (
+                tmp_path / "r2" / name
+            ).read_bytes(), f"{name} not byte-deterministic"
+
+    def test_records_input(self, tmp_path, capsys):
+        records_file = tmp_path / "records.json"
+        assert main(TINY_SWEEP + ["--format", "json",
+                                  "--output", str(records_file)]) == 0
+        capsys.readouterr()
+        out = tmp_path / "report"
+        assert main(["plot", "--records", str(records_file),
+                     "--out", str(out)]) == 0
+        assert (out / "heatmap_bcast.svg").exists()
+
+    def test_empty_filter_fails(self, tmp_path, capsys):
+        assert main([
+            "plot", "--manifest",
+            str(REPO_ROOT / "campaigns" / "table3_lumi.toml"),
+            "--out", str(tmp_path), "--nodes", "7",
+        ]) == 2
+        assert "leave nothing" in capsys.readouterr().err
+
+    def test_non_sweep_records_fail(self, tmp_path, capsys):
+        assert main(["plot", "--records", str(REPO_ROOT / "BENCH_sweep.json"),
+                     "--out", str(tmp_path)]) == 2
+        assert "sweep records" in capsys.readouterr().err
+
+
+# -- repro compare -----------------------------------------------------------
+
+
+class TestCompare:
+    def records_file(self, tmp_path, capsys) -> Path:
+        path = tmp_path / "records.json"
+        assert main(TINY_SWEEP + ["--format", "json", "--output", str(path)]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_self_diff_exits_zero(self, tmp_path, capsys):
+        """Acceptance smoke: the same record set twice is drift-free."""
+        path = self.records_file(tmp_path, capsys)
+        assert main(["compare", str(path), str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "identical within tolerance" in out
+
+    def test_perturbed_copy_exits_one_and_names_cell(self, tmp_path, capsys):
+        """Acceptance smoke: a perturbed copy drifts, naming the cell."""
+        path = self.records_file(tmp_path, capsys)
+        rows = json.loads(path.read_text())
+        rows[0]["time"] *= 1.02
+        perturbed = tmp_path / "perturbed.json"
+        perturbed.write_text(json.dumps(rows))
+        assert main(["compare", str(path), str(perturbed)]) == 1
+        out = capsys.readouterr().out
+        assert "DRIFT" in out
+        assert f"algorithm={rows[0]['algorithm']}" in out
+        assert "time" in out
+
+    def test_bench_blobs_parse_and_self_diff(self, capsys):
+        """Schema check: the repo BENCH_*.json blobs diff as metric sets."""
+        for name in ("BENCH_sweep.json", "BENCH_verify.json"):
+            blob = str(REPO_ROOT / name)
+            assert main(["compare", blob, blob]) == 0
+            assert "[metrics]" in capsys.readouterr().out
+
+    def test_kind_mismatch_fails(self, tmp_path, capsys):
+        path = self.records_file(tmp_path, capsys)
+        assert main(["compare", str(path),
+                     str(REPO_ROOT / "BENCH_sweep.json")]) == 2
+        assert "cannot diff" in capsys.readouterr().err
+
+    def test_baseline_update_and_gate(self, tmp_path, capsys):
+        manifest = tmp_path / "tiny.json"
+        manifest.write_text(json.dumps(TINY_MANIFEST))
+        baseline = tmp_path / "baseline.json"
+        assert main(["compare", str(baseline), str(manifest), "--update"]) == 0
+        capsys.readouterr()
+        # rerun of the deterministic campaign: gate passes
+        assert main(["compare", str(baseline), str(manifest)]) == 0
+        capsys.readouterr()
+        # perturbed baseline: gate fails and names the drift
+        payload = json.loads(baseline.read_text())
+        payload["records"][2]["global_bytes"] += 1.0
+        baseline.write_text(json.dumps(payload))
+        assert main(["compare", str(baseline), str(manifest)]) == 1
+        assert "global_bytes" in capsys.readouterr().out
+
+    def test_update_requires_manifest(self, tmp_path, capsys):
+        path = self.records_file(tmp_path, capsys)
+        assert main(["compare", str(tmp_path / "b.json"), str(path),
+                     "--update"]) == 2
+        assert "not a manifest" in capsys.readouterr().err
+
+    def test_markdown_format(self, tmp_path, capsys):
+        path = self.records_file(tmp_path, capsys)
+        assert main(["compare", str(path), str(path),
+                     "--format", "markdown"]) == 0
+        assert capsys.readouterr().out.startswith("**")
+
+    def test_missing_file_fails(self, capsys):
+        assert main(["compare", "nope.json", "nope.json"]) == 2
+
+    def test_malformed_json_fails_cleanly(self, tmp_path, capsys):
+        # a truncated baseline must exit 2 (usage error), never 1 (drift)
+        good = self.records_file(tmp_path, capsys)
+        bad = tmp_path / "truncated.json"
+        bad.write_text(good.read_text()[:40])
+        assert main(["compare", str(bad), str(good)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+
+# -- torus campaign manifests ------------------------------------------------
+
+
+class TestTorusManifest:
+    TINY_TORUS = {
+        "campaign": {"name": "tiny-torus", "system": "fugaku",
+                     "placement": "block"},
+        "grid": [
+            {
+                "collectives": ["allreduce", "bcast"],
+                "torus_dims": [2, 2, 2],
+                "vector_bytes": [1024, 1048576],
+            }
+        ],
+    }
+
+    def test_campaign_matches_direct_sweep_torus(self, tmp_path, capsys):
+        from repro.analysis.sweep import sweep_torus
+        from repro.systems import fugaku
+
+        manifest = tmp_path / "torus.json"
+        manifest.write_text(json.dumps(self.TINY_TORUS))
+        assert main(["campaign", str(manifest), "--format", "json"]) == 0
+        got = [SweepRecord.from_dict(d) for d in json.loads(capsys.readouterr().out)]
+        want = sweep_torus(fugaku(), (2, 2, 2), ("allreduce", "bcast"),
+                           vector_bytes=(1024, 1048576))
+        assert got == want
+        assert {r.system for r in got} == {"fugaku:2x2x2"}
+        assert {r.algorithm for r in got if r.collective == "allreduce"} >= {
+            "bine-multiport", "bine-torus", "bucket", "binomial",
+        }
+
+    def test_shipped_fugaku_manifests_validate(self):
+        fig11b = load_manifest(REPO_ROOT / "campaigns" / "fig11b_fugaku.toml")
+        assert [g.torus_dims for g in fig11b.grids] == [
+            (2, 2, 2), (4, 4, 4), (8, 8, 8), (8, 8)
+        ]
+        assert all(g.node_counts == (
+            g.torus_dims[0] * g.torus_dims[1] * (g.torus_dims + (1,))[2],
+        ) for g in fig11b.grids)
+        appd = load_manifest(REPO_ROOT / "campaigns" / "appd_torus.toml")
+        assert appd.grids[0].algorithms == ("bine-torus", "bine-multiport")
+
+    @pytest.mark.parametrize(
+        "mutate, message",
+        [
+            (lambda d: d["campaign"].update(system="lumi"), "fugaku"),
+            (lambda d: d["grid"][0].update(torus_dims=[3, 3]), "power of two|extent"),
+            (lambda d: d["grid"][0].update(node_counts=[9]), "contradicts"),
+            (lambda d: d["grid"][0].update(algorithms=["warp-drive"]),
+             "unknown algorithm"),
+            (lambda d: d["grid"][0].update(max_p={"bcast": 4}), "neither max_p"),
+            (lambda d: d["grid"][0].update(ppn=2), "neither max_p nor ppn"),
+            (lambda d: d["grid"][0].update(collectives=["alltoall"]),
+             "no torus algorithm"),
+            (lambda d: d["campaign"].update(placement="scheduler"),
+             'placement = "block"'),
+        ],
+    )
+    def test_torus_validation_errors(self, mutate, message):
+        data = json.loads(json.dumps(self.TINY_TORUS))
+        mutate(data)
+        with pytest.raises(ManifestError, match=message):
+            manifest_from_dict(data)
+
+    def test_torus_roundtrip(self):
+        m = manifest_from_dict(json.loads(json.dumps(self.TINY_TORUS)))
+        assert manifest_from_dict(manifest_to_dict(m)) == m
 
 
 # -- repro verify ------------------------------------------------------------
