@@ -1,24 +1,31 @@
-"""Sweep-pipeline performance tracker (the PR's ≥10× campaign-speedup gauge).
+"""Sweep-pipeline performance tracker (build → profile → evaluate wall-clock).
 
-Times the fixed 3-collective LUMI mini-campaign (``allreduce``,
-``allgather``, ``bcast``; p = 16/64/256/1024; 9 vector sizes) in three
-configurations and writes ``BENCH_sweep.json`` at the repo root so the perf
-trajectory is tracked from this PR onward:
+Times the fixed 3-collective LUMI campaign (``allreduce``, ``allgather``,
+``bcast``; 9 vector sizes) in two grids — p = 16/64/256/1024 at one rank
+per node, plus p = 4096 at ppn = 2 (LUMI has 2976 nodes) — and writes
+``BENCH_sweep.json`` at the repo root so the perf trajectory is tracked:
 
 * **cold** — fresh process-level memo caches, no disk cache: the full
-  build → route → profile → evaluate pipeline;
+  build → lower → route → profile → evaluate pipeline on the compiled
+  profile engine (the default);
 * **warm** — second run against a populated on-disk profile cache
-  (schedule construction and routing skipped entirely);
+  (schedule construction, lowering and routing skipped entirely);
 * **parallel** — cold run sharded over ``(collective, p)`` worker
   processes.  Wall-clock only helps on multi-core hosts, so on a
   single-core box the measurement is *skipped* (recorded as ``null`` with
   a reason) — process-pool overhead on 1 CPU reads like a regression when
-  it is just Amdahl; the JSON always records the core count next to it.
+  it is just Amdahl; the JSON always records the core count next to it;
+* **warm evaluation** — profiles already memoized in-process, only the
+  evaluation layer runs: the python engine calls ``evaluate_time`` once
+  per ``(profile, size)`` cell, the compiled engine evaluates each
+  profile's whole size grid in one ``evaluate_grid`` pass.  The ≥5×
+  compiled speedup is asserted (measured ~18×) — this is what makes
+  campaign-scale reruns effectively free.
 
-The seed pipeline measured ~50 s for this campaign on the paper-repro
-reference box (~18 s on the box that produced the first BENCH_sweep.json);
-the optimized pipeline's numbers live in the JSON, not in assertions —
-only a generous regression ceiling is asserted so CI stays portable.
+The seed pipeline measured ~50 s for the p ≤ 1024 campaign on the
+paper-repro reference box and could not reach p = 4096 interactively; the
+optimized pipeline's numbers live in the JSON, not in assertions — only
+generous regression ceilings are asserted so CI stays portable.
 """
 
 from __future__ import annotations
@@ -29,7 +36,7 @@ import shutil
 import time
 from pathlib import Path
 
-from repro.analysis.sweep import clear_memo_caches, sweep_system
+from repro.analysis.sweep import ProfileCache, clear_memo_caches, sweep_system
 from repro.systems import lumi
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -38,24 +45,51 @@ CACHE_DIR = Path(__file__).parent / "results" / ".cache" / "bench_perf_sweep"
 
 COLLECTIVES = ("allreduce", "allgather", "bcast")
 NODE_COUNTS = (16, 64, 256, 1024)
+#: LUMI is 24 x 124 = 2976 nodes: 4096 ranks run two-per-node
+P4096, P4096_PPN = 4096, 2
 VECTOR_BYTES = tuple(32 * 8**k for k in range(9))
 
-#: generous ceiling for the cold run — the quadratic-validate-era pipeline
-#: sat an order of magnitude above this
-COLD_BUDGET_S = 15.0
+#: generous ceiling for the cold run (measured ~24 s on the bench box —
+#: the p=4096 exact butterfly builds dominate; the quadratic-validate-era
+#: pipeline could not finish this campaign at all)
+COLD_BUDGET_S = 90.0
+#: the compiled evaluation layer must beat per-size python evaluation
+EVAL_SPEEDUP_FLOOR = 5.0
 
 
-def _run_campaign(**kwargs) -> tuple[float, int]:
-    preset = lumi()
+def _run_campaign(cache=None, **kwargs) -> tuple[float, int]:
+    """Both grids of the campaign, timed; returns (seconds, records)."""
+    preset = cache.preset if cache is not None else lumi()
     t0 = time.perf_counter()
-    records = sweep_system(
-        preset,
-        COLLECTIVES,
-        node_counts=NODE_COUNTS,
-        vector_bytes=VECTOR_BYTES,
-        **kwargs,
+    records = list(
+        sweep_system(
+            preset, COLLECTIVES, node_counts=NODE_COUNTS,
+            vector_bytes=VECTOR_BYTES, cache=cache, **kwargs,
+        )
+    )
+    records += sweep_system(
+        preset, COLLECTIVES, node_counts=(P4096,), ppn=P4096_PPN,
+        vector_bytes=VECTOR_BYTES, cache=cache, **kwargs,
     )
     return time.perf_counter() - t0, len(records)
+
+
+def _warm_eval() -> dict:
+    """Evaluation-layer wall-clock with fully warm in-process profiles."""
+    preset = lumi()
+    out = {}
+    for engine in ("python", "compiled"):
+        cache = ProfileCache(preset, profile_engine=engine)
+        _run_campaign(cache=cache)  # build + profile once
+        eval_s, n = _run_campaign(cache=cache)  # pure evaluation
+        out[engine] = (eval_s, n)
+    (py_s, n_py), (co_s, n_co) = out["python"], out["compiled"]
+    assert n_py == n_co
+    return {
+        "python_s": round(py_s, 4),
+        "compiled_s": round(co_s, 4),
+        "speedup": round(py_s / co_s, 1) if co_s else None,
+    }
 
 
 def compute() -> dict:
@@ -81,18 +115,22 @@ def compute() -> dict:
         parallel_note = None
         assert n_cold == n_par
 
+    warm_eval = _warm_eval()
+
     assert n_cold == n_warm
     result = {
         "campaign": {
             "system": "lumi",
             "collectives": list(COLLECTIVES),
-            "node_counts": list(NODE_COUNTS),
+            "node_counts": list(NODE_COUNTS) + [P4096],
+            "p4096_ppn": P4096_PPN,
             "vector_bytes": len(VECTOR_BYTES),
             "records": n_cold,
         },
         "cold_s": round(cold_s, 3),
         "warm_disk_cache_s": round(warm_s, 3),
         "parallel_workers4_s": round(parallel_s, 3) if parallel_s is not None else None,
+        "warm_eval": warm_eval,
         "cpu_count": cpu_count,
         "unix_time": int(time.time()),
     }
@@ -107,6 +145,7 @@ def test_perf_sweep():
     print(f"\n[bench_perf_sweep] {json.dumps(result, indent=2)}")
     assert result["cold_s"] < COLD_BUDGET_S
     assert result["warm_disk_cache_s"] < result["cold_s"]
+    assert result["warm_eval"]["speedup"] >= EVAL_SPEEDUP_FLOOR
 
 
 if __name__ == "__main__":

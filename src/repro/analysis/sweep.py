@@ -50,6 +50,15 @@ from typing import Iterable, Sequence
 
 from repro.collectives.registry import ALGORITHMS, AlgorithmSpec
 from repro.model.analytic import ANALYTIC_PROFILES, ANALYTIC_THRESHOLD
+from repro.model.compiled import (
+    CompiledRouteTable,
+    clear_table_cache,
+    evaluate_grid,
+    lower_schedule,
+    profile_table,
+    resolve_profile_engine,
+    transfer_table_for,
+)
 from repro.model.cost import CostParams
 from repro.model.simulator import (
     RouteTable,
@@ -77,8 +86,9 @@ def clear_memo_caches() -> None:
 
     Used by cold-start benchmarks (and available to long-lived services that
     want to bound memory): clears the per-``p`` negabinary/ν/π label tables,
-    the cross-schedule butterfly segment cache, and the compiled-executor
-    plan cache.  Per-:class:`ProfileCache` state (route tables, profiles,
+    the cross-schedule butterfly segment cache, the compiled-executor
+    plan cache, and the compiled-profiler transfer-table cache.  Per-
+    :class:`ProfileCache` state (route tables, profiles,
     mappings) is unaffected — drop the cache object itself for that.
 
     Example::
@@ -99,6 +109,7 @@ def clear_memo_caches() -> None:
     _common._pi_inv_table.cache_clear()
     _bc._SEG_CACHE.clear()
     clear_plan_cache()
+    clear_table_cache()
 
 #: bump to invalidate every on-disk profile cache entry
 _CACHE_VERSION = 1
@@ -174,6 +185,14 @@ class ProfileCache:
     across processes (and parallel workers share work).  Scheduler-placement
     mappings are still sampled in the same order on warm runs, keeping
     warm results identical to cold ones.
+
+    ``profile_engine`` picks the profiling backend: ``"compiled"`` (the
+    default) lowers each schedule once into a memoized
+    :class:`~repro.model.compiled.TransferTable` and profiles it through a
+    CSR :class:`~repro.model.compiled.CompiledRouteTable`; ``"python"`` is
+    the scalar reference path.  Profiles are bit-identical either way
+    (asserted in ``tests/test_compiled_profile.py``), so both engines share
+    one disk-cache namespace.
     """
 
     def __init__(
@@ -184,13 +203,18 @@ class ProfileCache:
         busy_fraction: float = 0.55,
         disk_dir: str | os.PathLike | None = None,
         mappings: dict[tuple[int, int], RankMap] | None = None,
+        profile_engine: str | None = None,
     ):
         self.preset = preset
         self.topo = preset.build_topology()
         self.placement = placement
         self.seed = seed
         self.busy_fraction = busy_fraction
+        self.engine = resolve_profile_engine(profile_engine)
         self.routes = RouteTable(self.topo)
+        self.croutes = (
+            CompiledRouteTable(self.topo) if self.engine == "compiled" else None
+        )
         self._cache: dict[tuple, ScheduleProfile | None] = {}
         self._mappings: dict[tuple[int, int], RankMap] = dict(mappings or {})
         self._sampler = None
@@ -275,13 +299,22 @@ class ProfileCache:
     def _build(
         self, spec: AlgorithmSpec, p: int, ppn: int, mapping: RankMap
     ) -> ScheduleProfile | None:
+        compiled = self.engine == "compiled"
         analytic = ANALYTIC_PROFILES.get((spec.collective, spec.name))
         # alltoall always uses the analytic (packed-implementation) profiles
         # so small and large rank counts are modelled consistently.
         if analytic is not None and (p > ANALYTIC_THRESHOLD or spec.collective == "alltoall"):
             if spec.pow2_only and p & (p - 1):
                 return None
-            return analytic(p, self.topo, mapping, routes=self.routes)
+            routes = self.croutes if compiled else self.routes
+            return analytic(p, self.topo, mapping, routes=routes)
+        if compiled:
+            # schedules lower once per (collective, algorithm, p) — the
+            # table is shared across systems, placements and seeds
+            table = transfer_table_for(spec, p)
+            if table is None:
+                return None  # constraint (pow2/divisibility) not met
+            return profile_table(table, self.topo, mapping, routes=self.croutes)
         try:
             with schedule_validation(False):
                 schedule = spec.build(p, p)  # canonical size: one element per block
@@ -365,6 +398,51 @@ def _selected_specs(
     ]
 
 
+def _profile_records(
+    profile: ScheduleProfile,
+    engine: str,
+    system: str,
+    spec: AlgorithmSpec,
+    p: int,
+    vector_bytes: Sequence[int],
+    params: CostParams,
+) -> list[SweepRecord]:
+    """Records for one profile across the size grid, on either engine.
+
+    The compiled engine evaluates every size in one
+    :func:`~repro.model.compiled.evaluate_grid` pass; the python engine
+    calls :func:`~repro.model.simulator.evaluate_time` per size.  Both
+    yield bit-identical records.
+    """
+    if engine == "compiled":
+        grid = evaluate_grid(
+            profile, params, [nb / params.itemsize for nb in vector_bytes]
+        )
+        cells = zip(vector_bytes, grid.time, grid.global_bytes)
+    else:
+        cells = (
+            (nb,) + _scalar_cell(profile, params, nb) for nb in vector_bytes
+        )
+    return [
+        SweepRecord(
+            system=system,
+            collective=spec.collective,
+            algorithm=spec.name,
+            family=spec.family,
+            p=p,
+            n_bytes=nb,
+            time=float(time),
+            global_bytes=float(gbytes),
+        )
+        for nb, time, gbytes in cells
+    ]
+
+
+def _scalar_cell(profile, params, nb) -> tuple[float, float]:
+    metrics = evaluate_time(profile, params, nb / params.itemsize)
+    return metrics.time, metrics.global_bytes
+
+
 def _evaluate_grid(
     preset: SystemPreset,
     cache: ProfileCache,
@@ -384,21 +462,12 @@ def _evaluate_grid(
             profile = cache.get(spec, p, ppn)
             if profile is None:
                 continue
-            for nb in vector_bytes:
-                n_elems = nb / params.itemsize
-                metrics = evaluate_time(profile, params, n_elems)
-                records.append(
-                    SweepRecord(
-                        system=preset.name,
-                        collective=spec.collective,
-                        algorithm=spec.name,
-                        family=spec.family,
-                        p=p,
-                        n_bytes=nb,
-                        time=metrics.time,
-                        global_bytes=metrics.global_bytes,
-                    )
+            records.extend(
+                _profile_records(
+                    profile, cache.engine, preset.name, spec, p,
+                    vector_bytes, params,
                 )
+            )
     return records
 
 
@@ -416,6 +485,7 @@ def sweep_system(
     placement: str = "scheduler",
     workers: int | None = None,
     disk_dir: str | os.PathLike | None = None,
+    profile_engine: str | None = None,
 ) -> list[SweepRecord]:
     """Evaluate every applicable algorithm across the grid.
 
@@ -426,6 +496,11 @@ def sweep_system(
     onto a process pool; results are identical to the serial sweep, in the
     same order.  ``disk_dir`` enables the persistent profile cache (ignored
     when an explicit ``cache`` is passed — configure it there instead).
+
+    ``profile_engine`` selects the profiling/evaluation backend
+    (``"compiled"`` default, ``"python"`` reference; records are
+    bit-identical).  Like ``disk_dir`` it is ignored when an explicit
+    ``cache`` is passed — the cache's engine governs.
 
     Example (one-cell grid)::
 
@@ -440,7 +515,10 @@ def sweep_system(
         vector_bytes if vector_bytes is not None else preset.vector_bytes
     )
     params = params or preset.params
-    cache = cache or ProfileCache(preset, placement=placement, disk_dir=disk_dir)
+    cache = cache or ProfileCache(
+        preset, placement=placement, disk_dir=disk_dir,
+        profile_engine=profile_engine,
+    )
     specs = _selected_specs(collectives, algorithms)
     if workers is not None and workers > 1:
         return _sweep_parallel(
@@ -459,6 +537,7 @@ def sweep_torus(
     vector_bytes: Sequence[int] | None = None,
     algorithms: Iterable[str] | None = None,
     params: CostParams | None = None,
+    profile_engine: str | None = None,
 ) -> list[SweepRecord]:
     """Evaluate the torus algorithm catalog on one sub-torus (Fig. 11b).
 
@@ -492,26 +571,25 @@ def sweep_torus(
     vector_bytes = tuple(
         vector_bytes if vector_bytes is not None else preset.vector_bytes
     )
+    engine = resolve_profile_engine(profile_engine)
+    croutes = CompiledRouteTable(topo) if engine == "compiled" else None
     system = f"{preset.name}:{'x'.join(str(d) for d in dims)}"
     records: list[SweepRecord] = []
     for spec in torus_specs(collectives, algorithms):
         with schedule_validation(False):
             schedule = spec.build(shape)
-        profile = profile_schedule(schedule, topo, mapping)
-        for nb in vector_bytes:
-            metrics = evaluate_time(profile, params, nb / params.itemsize)
-            records.append(
-                SweepRecord(
-                    system=system,
-                    collective=spec.collective,
-                    algorithm=spec.name,
-                    family=spec.family,
-                    p=shape.num_ranks,
-                    n_bytes=nb,
-                    time=metrics.time,
-                    global_bytes=metrics.global_bytes,
-                )
+        if engine == "compiled":
+            profile = profile_table(
+                lower_schedule(schedule), topo, mapping, routes=croutes
             )
+        else:
+            profile = profile_schedule(schedule, topo, mapping)
+        records.extend(
+            _profile_records(
+                profile, engine, system, spec, shape.num_ranks,
+                vector_bytes, params,
+            )
+        )
     return records
 
 
@@ -527,6 +605,7 @@ def _sweep_shard(
     busy_fraction: float,
     mappings: dict[tuple[int, int], RankMap],
     disk_dir: str | None,
+    profile_engine: str,
     collective: str,
     p: int,
     vector_bytes: tuple[int, ...],
@@ -553,6 +632,7 @@ def _sweep_shard(
         busy_fraction=busy_fraction,
         disk_dir=disk_dir,
         mappings=mappings,
+        profile_engine=profile_engine,
     )
     specs = _selected_specs((collective,), algorithm_names)
     return _evaluate_grid(
@@ -599,6 +679,7 @@ def _sweep_parallel(
                 cache.busy_fraction,
                 dict(cache._mappings),
                 disk_dir,
+                cache.engine,
                 coll,
                 p,
                 vector_bytes,

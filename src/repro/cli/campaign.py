@@ -77,15 +77,17 @@ def run_campaign(
     workers: int | None = None,
     disk_dir: str | os.PathLike | None = None,
     cache: ProfileCache | None = None,
+    profile_engine: str | None = None,
 ) -> CampaignResult:
     """Run every grid of ``manifest`` and, if requested, summarise.
 
-    ``workers`` and ``disk_dir`` are execution knobs, not campaign
-    identity: any combination yields record-for-record identical output
-    (parallel shards pre-sample placements in serial order; warm disk
-    caches replay the cold run's profiles).  An explicit ``cache``
-    overrides the manifest's placement context — the bench suite uses
-    this to share one cache across benches.
+    ``workers``, ``disk_dir`` and ``profile_engine`` are execution knobs,
+    not campaign identity: any combination yields record-for-record
+    identical output (parallel shards pre-sample placements in serial
+    order; warm disk caches replay the cold run's profiles; the compiled
+    profile engine is bit-identical to the python reference).  An explicit
+    ``cache`` overrides the manifest's placement context *and* the engine —
+    the bench suite uses this to share one cache across benches.
 
     Example::
 
@@ -103,6 +105,7 @@ def run_campaign(
             seed=manifest.seed,
             busy_fraction=manifest.busy_fraction,
             disk_dir=disk_dir,
+            profile_engine=profile_engine,
         )
     records: list[SweepRecord] = []
     for grid in manifest.grids:
@@ -116,6 +119,7 @@ def run_campaign(
                     grid.collectives,
                     vector_bytes=grid.vector_bytes,
                     algorithms=grid.algorithms,
+                    profile_engine=cache.engine,
                 )
             )
             continue

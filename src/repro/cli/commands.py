@@ -204,6 +204,7 @@ def cmd_sweep(args) -> int:
         seed=args.seed,
         busy_fraction=args.busy_fraction,
         disk_dir=args.disk_cache,
+        profile_engine=args.profile_engine,
     )
     records = sweep_system(
         preset,
@@ -418,7 +419,8 @@ def cmd_plot(args) -> int:
         if error:
             return _fail(error)
         result = run_campaign(
-            manifest, workers=args.workers, disk_dir=args.disk_cache
+            manifest, workers=args.workers, disk_dir=args.disk_cache,
+            profile_engine=args.profile_engine,
         )
         records = result.records
         name, source = manifest.name, args.manifest
@@ -458,7 +460,7 @@ def cmd_plot(args) -> int:
 # -- repro compare -----------------------------------------------------------
 
 
-def _resolve_record_set(path_text: str, workers, disk_dir):
+def _resolve_record_set(path_text: str, workers, disk_dir, profile_engine=None):
     """A compare operand: records/baseline JSON, or a manifest to rerun.
 
     Returns ``(record_set, manifest_or_None)``; raises ``ManifestError``
@@ -491,7 +493,10 @@ def _resolve_record_set(path_text: str, workers, disk_dir):
     manifest = (
         manifest_from_dict(data) if data is not None else load_manifest(path)
     )
-    result = run_campaign(manifest, workers=workers, disk_dir=disk_dir)
+    result = run_campaign(
+        manifest, workers=workers, disk_dir=disk_dir,
+        profile_engine=profile_engine,
+    )
     return record_set_from_records(result.records, label=path_text), manifest
 
 
@@ -515,7 +520,8 @@ def cmd_compare(args) -> int:
     if args.update:
         try:
             candidate, manifest = _resolve_record_set(
-                args.candidate, args.workers, args.disk_cache
+                args.candidate, args.workers, args.disk_cache,
+                args.profile_engine,
             )
         except (ManifestError, RecordSetError, FileNotFoundError, OSError) as exc:
             return _fail(str(exc))
@@ -531,9 +537,11 @@ def cmd_compare(args) -> int:
         print(f"froze {len(records)} records -> {args.ref}", file=sys.stderr)
         return 0
     try:
-        ref, _ = _resolve_record_set(args.ref, args.workers, args.disk_cache)
+        ref, _ = _resolve_record_set(
+            args.ref, args.workers, args.disk_cache, args.profile_engine
+        )
         candidate, _ = _resolve_record_set(
-            args.candidate, args.workers, args.disk_cache
+            args.candidate, args.workers, args.disk_cache, args.profile_engine
         )
         diff = diff_record_sets(ref, candidate, tolerance=args.tolerance)
     except (ManifestError, RecordSetError, FileNotFoundError, OSError) as exc:
@@ -563,7 +571,8 @@ def cmd_campaign(args) -> int:
     except (ManifestError, FileNotFoundError) as exc:
         return _fail(str(exc))
     result = run_campaign(
-        manifest, workers=args.workers, disk_dir=args.disk_cache
+        manifest, workers=args.workers, disk_dir=args.disk_cache,
+        profile_engine=args.profile_engine,
     )
     cells = len({r.key for r in result.records})
     print(

@@ -51,6 +51,13 @@ def _add_execution_knobs(parser: argparse.ArgumentParser) -> None:
         help="persist schedule profiles under DIR across runs "
         "(delete DIR to force a cold rebuild)",
     )
+    parser.add_argument(
+        "--profile-engine", choices=("compiled", "python"), default=None,
+        help="profiling/evaluation backend: compiled (vectorized transfer "
+        "tables + CSR routes + grid evaluation, the default) or python "
+        "(scalar reference); records are bit-identical either way "
+        "(REPRO_PROFILE_ENGINE sets the default when this flag is omitted)",
+    )
 
 
 def _add_record_format(parser: argparse.ArgumentParser) -> None:

@@ -1,5 +1,15 @@
 """Traffic accounting and the alpha-beta-congestion performance model."""
 
+from repro.model.compiled import (
+    CompiledRouteTable,
+    GridMetrics,
+    TransferTable,
+    evaluate_grid,
+    lower_schedule,
+    profile_table,
+    resolve_profile_engine,
+    transfer_table_for,
+)
 from repro.model.cost import CostParams
 from repro.model.simulator import (
     RunMetrics,
@@ -16,12 +26,20 @@ from repro.model.traffic import (
 )
 
 __all__ = [
+    "CompiledRouteTable",
     "CostParams",
+    "GridMetrics",
     "RunMetrics",
     "ScheduleProfile",
     "StepProfile",
+    "TransferTable",
+    "evaluate_grid",
     "evaluate_time",
+    "lower_schedule",
     "profile_schedule",
+    "profile_table",
+    "resolve_profile_engine",
+    "transfer_table_for",
     "global_traffic_elems",
     "link_loads_per_step",
     "traffic_by_class",

@@ -1,0 +1,715 @@
+"""Compiled profiling + grid evaluation — the sweep pipeline's fast path.
+
+Three lowering stages turn the build → route → profile → evaluate pipeline
+into array programs, each bit-identical to the Python reference it replaces
+(asserted across the whole registry in ``tests/test_compiled_profile.py``):
+
+* :class:`TransferTable` — a finalized :class:`~repro.runtime.schedule.Schedule`
+  flattened *once* per ``(algorithm, p)`` into structure-of-arrays,
+  step-segmented columns (``src`` / ``dst`` / ``nelems`` / ``num_segments`` /
+  ``has_op`` plus the pre/post local-op columns).  The table depends only on
+  the schedule — not on the topology or rank mapping — so one lowering
+  serves every system, placement and seed of a campaign.
+  :func:`transfer_table_for` memoizes tables per registry cell (bounded
+  FIFO, cleared by :func:`repro.analysis.sweep.clear_memo_caches`), the
+  profiling analogue of :func:`repro.collectives.verify.compiled_plan_for`.
+
+* :class:`CompiledRouteTable` — one CSR route matrix per topology: per
+  node pair, offsets into flat ``link_idx`` / ``width`` / ``cls_idx``
+  arrays, plus an interned hop-signature id and a ``uses_nic`` flag.
+  :meth:`CompiledRouteTable.profile_step_arrays` collapses a whole step
+  with gathers, ``np.bincount`` and ``np.add.at`` — zero per-transfer
+  Python.  Link-load contributions are expanded in exactly the
+  concatenation order of the scalar path, and ``np.add.at`` is unbuffered,
+  so the resulting :class:`~repro.model.simulator.StepProfile` floats are
+  bit-identical to :func:`~repro.model.simulator.profile_step`.
+
+* :func:`evaluate_grid` — evaluates one profile at *all* message sizes of a
+  campaign in a single NumPy pass.  Per-step structure arrays (max loads by
+  class, injection/ejection/reduce/copy maxima) are cached on the profile
+  the first time it is evaluated; each call then replays
+  :func:`~repro.model.simulator.evaluate_time`'s arithmetic elementwise
+  over the size axis, with the same operation order (products
+  left-associated, per-step terms summed in step order via a running
+  ``np.cumsum`` — a prefix sum cannot be regrouped pairwise), so every
+  column equals the scalar evaluation bit for bit.
+
+The sweep layer (:mod:`repro.analysis.sweep`) routes through these via the
+``profile_engine`` knob (``"compiled"`` by default, ``"python"`` for the
+reference path; the ``REPRO_PROFILE_ENGINE`` environment variable changes
+the default where no explicit engine is passed).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from itertools import chain
+
+import numpy as np
+
+from repro.model.cost import CostParams
+from repro.model.simulator import (
+    PIPELINE_CHUNKS,
+    ScheduleProfile,
+    StepProfile,
+)
+from repro.runtime.schedule import Schedule, schedule_validation
+from repro.topology.base import LinkClass, Topology
+from repro.topology.mapping import RankMap
+
+__all__ = [
+    "TransferTable",
+    "CompiledRouteTable",
+    "GridMetrics",
+    "lower_schedule",
+    "transfer_table_for",
+    "clear_table_cache",
+    "profile_table",
+    "evaluate_grid",
+    "resolve_profile_engine",
+    "PROFILE_ENGINES",
+]
+
+#: accepted values for the sweep layer's ``profile_engine`` knob
+PROFILE_ENGINES = ("python", "compiled")
+
+
+def resolve_profile_engine(engine: str | None = None) -> str:
+    """The effective profile engine: explicit arg → env var → compiled.
+
+    An explicit ``engine`` always wins; ``REPRO_PROFILE_ENGINE`` (when set
+    and non-empty) replaces only the *default*, so a whole run can be
+    steered from the environment without breaking callers that deliberately
+    pin an engine — the perf bench and the equivalence tests compare the
+    two engines against each other and must not be silently collapsed onto
+    one of them.
+
+    Example::
+
+        >>> resolve_profile_engine()
+        'compiled'
+        >>> resolve_profile_engine("python")
+        'python'
+    """
+    if engine is None:
+        env = os.environ.get("REPRO_PROFILE_ENGINE")
+        engine = env.strip() if env is not None and env.strip() else "compiled"
+    if engine not in PROFILE_ENGINES:
+        raise ValueError(
+            f"unknown profile engine {engine!r}; have {PROFILE_ENGINES}"
+        )
+    return engine
+
+
+# -- transfer tables ---------------------------------------------------------
+
+
+@dataclass(frozen=True, eq=False)
+class TransferTable:
+    """A schedule's transfers/local ops as step-segmented SoA columns.
+
+    Step ``i``'s transfers are rows ``step_off[i]:step_off[i+1]`` of the
+    transfer columns; its local ops (``pre`` then ``post``, in order) are
+    rows ``local_off[i]:local_off[i+1]`` of the local columns.  Everything
+    the profiler needs, nothing the executor needs: segment lists are
+    collapsed to ``nelems`` / ``num_segments`` at lowering time.
+    """
+
+    p: int
+    n_build: int
+    meta: dict = field(hash=False)
+    #: (num_steps + 1,) row offsets into the transfer columns
+    step_off: np.ndarray = field(default=None)
+    src: np.ndarray = field(default=None)
+    dst: np.ndarray = field(default=None)
+    nelems: np.ndarray = field(default=None)
+    num_segments: np.ndarray = field(default=None)
+    has_op: np.ndarray = field(default=None)
+    #: (num_steps + 1,) row offsets into the local-op columns
+    local_off: np.ndarray = field(default=None)
+    local_rank: np.ndarray = field(default=None)
+    local_nelems: np.ndarray = field(default=None)
+    local_has_op: np.ndarray = field(default=None)
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.step_off) - 1
+
+    @property
+    def num_transfers(self) -> int:
+        return int(self.src.size)
+
+
+def lower_schedule(schedule: Schedule) -> TransferTable:
+    """Flatten a schedule into a :class:`TransferTable` (one linear pass).
+
+    Example::
+
+        >>> from repro.collectives.registry import build
+        >>> t = lower_schedule(build("bcast", "bine", 8, 8))
+        >>> t.num_steps, t.num_transfers
+        (3, 7)
+    """
+    step_off = [0]
+    local_off = [0]
+    src: list[int] = []
+    dst: list[int] = []
+    ne: list[int] = []
+    nseg: list[int] = []
+    has_op: list[bool] = []
+    lrank: list[int] = []
+    lne: list[int] = []
+    lop: list[bool] = []
+    for step in schedule.steps:
+        for t in step.transfers:
+            src.append(t.src)
+            dst.append(t.dst)
+            ne.append(t.nelems)
+            nseg.append(t.num_segments)
+            has_op.append(t.op is not None)
+        for lc in chain(step.pre, step.post):
+            lrank.append(lc.rank)
+            lne.append(lc.nelems)
+            lop.append(lc.op is not None)
+        step_off.append(len(src))
+        local_off.append(len(lrank))
+    return TransferTable(
+        p=schedule.p,
+        n_build=schedule.meta.get("n", schedule.p),
+        meta=dict(schedule.meta),
+        step_off=np.asarray(step_off, dtype=np.intp),
+        src=np.asarray(src, dtype=np.intp),
+        dst=np.asarray(dst, dtype=np.intp),
+        nelems=np.asarray(ne, dtype=np.int64),
+        num_segments=np.asarray(nseg, dtype=np.int64),
+        has_op=np.asarray(has_op, dtype=bool),
+        local_off=np.asarray(local_off, dtype=np.intp),
+        local_rank=np.asarray(lrank, dtype=np.intp),
+        local_nelems=np.asarray(lne, dtype=np.int64),
+        local_has_op=np.asarray(lop, dtype=bool),
+    )
+
+
+#: table memo — keyed per registry cell; bounded FIFO so 4096-rank tables
+#: cannot accumulate without limit.  ``None`` entries record constraint
+#: misses (pow2/divisibility) so they are not re-attempted.  The bound must
+#: exceed a full campaign's exact-cell count (the reference 3-collective
+#: LUMI grid to p=4096 touches ~100 cells; the FIFO replays in sweep order,
+#: so a bound below the working set would evict every entry before reuse).
+_TABLE_CACHE: dict[tuple, TransferTable | None] = {}
+_TABLE_CACHE_MAX = 512
+
+
+def transfer_table_for(spec, p: int) -> TransferTable | None:
+    """Cached :class:`TransferTable` for one ``(collective, algorithm, p)``.
+
+    Builds the schedule at the canonical size ``n = p`` with validation off
+    (the sweep's contract: it rebuilds schedules the test suite already
+    validates) and lowers it once; ``None`` when the builder rejects ``p``.
+    The table is topology- and mapping-independent, so every system /
+    placement / seed of a campaign shares one entry.  Eviction is FIFO at
+    ``_TABLE_CACHE_MAX``; :func:`clear_table_cache` (also reached via
+    :func:`repro.analysis.sweep.clear_memo_caches`) drops everything.
+    """
+    key = (spec.collective, spec.name, p)
+    if key in _TABLE_CACHE:
+        return _TABLE_CACHE[key]
+    try:
+        with schedule_validation(False):
+            schedule = spec.build(p, p)
+    except ValueError:
+        table = None
+    else:
+        table = lower_schedule(schedule)
+    while len(_TABLE_CACHE) >= _TABLE_CACHE_MAX:
+        _TABLE_CACHE.pop(next(iter(_TABLE_CACHE)))
+    _TABLE_CACHE[key] = table
+    return table
+
+
+def clear_table_cache() -> None:
+    """Drop every memoized transfer table (cold-start benchmarks, memory)."""
+    _TABLE_CACHE.clear()
+
+
+# -- CSR route matrices ------------------------------------------------------
+
+
+@dataclass(frozen=True, eq=False)
+class _CsrArrays:
+    """Materialized CSR view of an interned route set."""
+
+    #: (num_pairs + 1,) offsets into the flat link columns
+    off: np.ndarray
+    link: np.ndarray   # interned link ids
+    width: np.ndarray  # parallel physical-link widths
+    cls: np.ndarray    # link class ids
+    #: per-pair hop-signature id / NIC flag / dense per-class hop counts
+    sig: np.ndarray
+    nic: np.ndarray
+    hops: np.ndarray   # (num_pairs, num_classes) int64
+
+
+def _expand_rows(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """CSR row expansion: flat indices ``starts[j] .. starts[j]+counts[j])``."""
+    total = int(counts.sum())
+    cum = np.cumsum(counts)
+    return np.repeat(starts - (cum - counts), counts) + np.arange(
+        total, dtype=np.intp
+    )
+
+
+class CompiledRouteTable:
+    """Interned minimal routes for one topology, in CSR layout.
+
+    The compiled counterpart of :class:`~repro.model.simulator.RouteTable`:
+    node pairs intern lazily (each ``topo.route`` call happens exactly once
+    per pair per table), but the per-pair data lands in flat arrays so a
+    whole step's transfers resolve with gathers instead of per-transfer
+    dict lookups.  :meth:`profile_step_arrays` is the vectorized
+    :func:`~repro.model.simulator.profile_step`; :meth:`profile_step`
+    adapts the generator-based calling convention so the analytic profile
+    builders (:mod:`repro.model.analytic`) run through the same kernel
+    unchanged.
+    """
+
+    def __init__(self, topo: Topology):
+        self.topo = topo
+        self._num_nodes = topo.num_nodes
+        self._pair_pid: dict[int, int] = {}
+        self._link_ids: dict[tuple, int] = {}
+        self._cls_ids: dict[str, int] = {}
+        self.cls_names: list[str] = []
+        #: per-pair hop signatures, interned: ``sig_tuples[sig_id]`` is the
+        #: sorted ``(class, hop_count)`` tuple profile_step folds into
+        #: latency signatures
+        self.sig_tuples: list[tuple] = []
+        self._sig_ids: dict[tuple, int] = {}
+        # growing build-side state; re-materialized into _CsrArrays lazily
+        self._flat_link: list[int] = []
+        self._flat_width: list[float] = []
+        self._flat_cls: list[int] = []
+        self._off: list[int] = [0]
+        self._pair_sig: list[int] = []
+        self._pair_nic: list[bool] = []
+        self._pair_hops: list[dict[int, int]] = []
+        self._arrays: _CsrArrays | None = None
+
+    def __len__(self) -> int:
+        return len(self._pair_sig)
+
+    def _intern_pair(self, a: int, b: int) -> int:
+        route = self.topo.route(a, b)
+        hops: dict[str, int] = {}
+        cls_row: dict[int, int] = {}
+        uses_nic = False
+        for link in route:
+            li = self._link_ids.get(link.key)
+            if li is None:
+                li = self._link_ids[link.key] = len(self._link_ids)
+            ci = self._cls_ids.get(link.cls)
+            if ci is None:
+                ci = self._cls_ids[link.cls] = len(self._cls_ids)
+                self.cls_names.append(link.cls)
+            self._flat_link.append(li)
+            self._flat_width.append(float(link.width))
+            self._flat_cls.append(ci)
+            hops[link.cls] = hops.get(link.cls, 0) + 1
+            cls_row[ci] = cls_row.get(ci, 0) + 1
+            if link.cls != LinkClass.INTRA:
+                uses_nic = True
+        self._off.append(len(self._flat_link))
+        sig = tuple(sorted(hops.items()))
+        sid = self._sig_ids.get(sig)
+        if sid is None:
+            sid = self._sig_ids[sig] = len(self._sig_ids)
+            self.sig_tuples.append(sig)
+        pid = len(self._pair_sig)
+        self._pair_sig.append(sid)
+        self._pair_nic.append(uses_nic)
+        self._pair_hops.append(cls_row)
+        self._pair_pid[a * self._num_nodes + b] = pid
+        self._arrays = None
+        return pid
+
+    def resolve(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Pair ids for node arrays ``a → b``, interning unseen pairs."""
+        keys = a * self._num_nodes + b
+        uniq, inv = np.unique(keys, return_inverse=True)
+        pids = np.empty(uniq.size, dtype=np.intp)
+        get = self._pair_pid.get
+        n = self._num_nodes
+        for i, k in enumerate(uniq.tolist()):
+            pid = get(k)
+            if pid is None:
+                pid = self._intern_pair(k // n, k % n)
+            pids[i] = pid
+        return pids[inv]
+
+    def _csr(self) -> _CsrArrays:
+        arrays = self._arrays
+        if arrays is None:
+            n_cls = len(self.cls_names)
+            hops = np.zeros((len(self._pair_hops), n_cls), dtype=np.int64)
+            for pid, row in enumerate(self._pair_hops):
+                for ci, h in row.items():
+                    hops[pid, ci] = h
+            arrays = self._arrays = _CsrArrays(
+                off=np.asarray(self._off, dtype=np.intp),
+                link=np.asarray(self._flat_link, dtype=np.intp),
+                width=np.asarray(self._flat_width, dtype=np.float64),
+                cls=np.asarray(self._flat_cls, dtype=np.intp),
+                sig=np.asarray(self._pair_sig, dtype=np.intp),
+                nic=np.asarray(self._pair_nic, dtype=bool),
+                hops=hops,
+            )
+        return arrays
+
+    def profile_step(self, transfers, local_ops, node_of, groups) -> StepProfile:
+        """Generator-convention adapter (the analytic builders' entry).
+
+        Accepts the exact arguments of
+        :func:`repro.model.simulator.profile_step` minus ``routes`` and
+        feeds the vectorized kernel.
+        """
+        transfers = list(transfers)
+        n_t = len(transfers)
+        if n_t:
+            src_l, dst_l, ne_l, nsegs_l, op_l = zip(*transfers)
+            src = np.fromiter(src_l, np.intp, n_t)
+            dst = np.fromiter(dst_l, np.intp, n_t)
+            ne = np.fromiter(ne_l, np.int64, n_t)
+            nsegs = np.fromiter(nsegs_l, np.int64, n_t)
+            has_op = np.fromiter(op_l, bool, n_t)
+        else:
+            src = dst = np.empty(0, dtype=np.intp)
+            ne = nsegs = np.empty(0, dtype=np.int64)
+            has_op = np.empty(0, dtype=bool)
+        local_ops = list(local_ops)
+        n_l = len(local_ops)
+        if n_l:
+            lrank_l, lne_l, lop_l = zip(*local_ops)
+            lrank = np.fromiter(lrank_l, np.intp, n_l)
+            lne = np.fromiter(lne_l, np.int64, n_l)
+            lop = np.fromiter(lop_l, bool, n_l)
+        else:
+            lrank = np.empty(0, dtype=np.intp)
+            lne = np.empty(0, dtype=np.int64)
+            lop = np.empty(0, dtype=bool)
+        return self.profile_step_arrays(
+            src, dst, ne, nsegs, has_op, lrank, lne, lop,
+            np.asarray(node_of, dtype=np.intp),
+            np.asarray(groups, dtype=np.intp),
+        )
+
+    def profile_step_arrays(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        ne: np.ndarray,
+        nsegs: np.ndarray,
+        has_op: np.ndarray,
+        lrank: np.ndarray,
+        lne: np.ndarray,
+        lhas_op: np.ndarray,
+        node_arr: np.ndarray,
+        group_arr: np.ndarray,
+    ) -> StepProfile:
+        """One step's columns → a :class:`StepProfile`, fully vectorized.
+
+        Bit-identical to the scalar :func:`~repro.model.simulator.profile_step`:
+        integer aggregates are exact in either accumulation order (all
+        magnitudes sit far below 2**53), and the only true-float quantity —
+        per-link load, where widths divide unevenly — is accumulated by the
+        *same* ``np.add.at`` over the same transfer-ordered concatenation.
+        """
+        p = node_arr.size
+        n_t = src.size
+        signatures: set = set()
+        max_by_class: dict[str, float] = {}
+        class_elems: dict[str, int] = {}
+
+        if n_t:
+            a = node_arr[src]
+            b = node_arr[dst]
+            pids = self.resolve(a, b)
+            csr = self._csr()
+            nic = csr.nic[pids]
+            same_node = a == b
+            crosses = group_arr[src] != group_arr[dst]
+            # unique (hop-signature, segment-count) latency signatures
+            seg_base = int(nsegs.max()) + 1 if n_t else 1
+            for code in np.unique(csr.sig[pids] * seg_base + nsegs):
+                signatures.add(
+                    (self.sig_tuples[int(code) // seg_base], int(code) % seg_base)
+                )
+            # element·hop products per class (exact int64 matmul)
+            hops_t = csr.hops[pids]
+            totals = ne @ hops_t
+            for ci in np.nonzero(hops_t.any(axis=0))[0]:
+                class_elems[self.cls_names[ci]] = int(totals[ci])
+            # per-link loads: expand each transfer's route rows in transfer
+            # order — the same concatenation the scalar path builds — then
+            # accumulate with the same unbuffered np.add.at
+            counts = csr.off[pids + 1] - csr.off[pids]
+            if counts.sum():
+                rows = _expand_rows(csr.off[pids], counts)
+                cat_idx = csr.link[rows]
+                cat_contrib = np.repeat(ne, counts) / csr.width[rows]
+                cat_cls = csr.cls[rows]
+                uniq, local = np.unique(cat_idx, return_inverse=True)
+                loads = np.zeros(uniq.size, dtype=np.float64)
+                np.add.at(loads, local, cat_contrib)
+                link_cls = np.zeros(uniq.size, dtype=np.intp)
+                link_cls[local] = cat_cls
+                for ci in np.unique(link_cls):
+                    m = loads[link_cls == ci].max()
+                    if m > 0:
+                        max_by_class[self.cls_names[ci]] = float(m)
+
+            msgs = np.bincount(src, minlength=p) + np.bincount(dst, minlength=p)
+            max_node_msgs = int(msgs.max())
+            max_inj = int(np.bincount(src[nic], weights=ne[nic], minlength=p).max())
+            max_ej = int(np.bincount(dst[nic], weights=ne[nic], minlength=p).max())
+            copy_mask = ~nic & same_node
+            copy_by_rank = np.bincount(
+                dst[copy_mask], weights=ne[copy_mask], minlength=p
+            )
+            red_by_rank = np.bincount(
+                dst[has_op], weights=ne[has_op], minlength=p
+            )
+            global_elems = int(ne[crosses].sum())
+        else:
+            max_node_msgs = max_inj = max_ej = global_elems = 0
+            copy_by_rank = np.zeros(p, dtype=np.float64)
+            red_by_rank = np.zeros(p, dtype=np.float64)
+
+        if lrank.size:
+            copy_by_rank = copy_by_rank + np.bincount(
+                lrank, weights=lne, minlength=p
+            )
+            red_by_rank = red_by_rank + np.bincount(
+                lrank[lhas_op], weights=lne[lhas_op], minlength=p
+            )
+
+        return StepProfile(
+            lat_signatures=tuple(sorted(signatures)),
+            max_link_load=tuple(sorted(max_by_class.items())),
+            max_inj=max_inj,
+            max_ej=max_ej,
+            max_reduce=int(red_by_rank.max()) if p else 0,
+            max_copy=int(copy_by_rank.max()) if p else 0,
+            global_elems=global_elems,
+            class_elems=tuple(sorted(class_elems.items())),
+            max_node_msgs=max_node_msgs,
+        )
+
+
+def profile_table(
+    table: TransferTable,
+    topo: Topology,
+    rank_map: RankMap,
+    *,
+    routes: CompiledRouteTable | None = None,
+) -> ScheduleProfile:
+    """Profile a lowered schedule: the compiled
+    :func:`~repro.model.simulator.profile_schedule`.
+
+    Pass ``routes`` to share one CSR route matrix across many profiles of
+    the same topology (the sweep layer always does).
+    """
+    if rank_map.num_ranks != table.p:
+        raise ValueError(
+            f"mapping covers {rank_map.num_ranks} ranks, schedule needs {table.p}"
+        )
+    if routes is None:
+        routes = CompiledRouteTable(topo)
+    elif routes.topo is not topo:
+        raise ValueError("routes table was built for a different topology")
+    node_arr = np.asarray(rank_map.nodes, dtype=np.intp)
+    group_arr = np.asarray(rank_map.groups(topo), dtype=np.intp)
+    steps = []
+    for i in range(table.num_steps):
+        s0, s1 = table.step_off[i], table.step_off[i + 1]
+        l0, l1 = table.local_off[i], table.local_off[i + 1]
+        steps.append(
+            routes.profile_step_arrays(
+                table.src[s0:s1],
+                table.dst[s0:s1],
+                table.nelems[s0:s1],
+                table.num_segments[s0:s1],
+                table.has_op[s0:s1],
+                table.local_rank[l0:l1],
+                table.local_nelems[l0:l1],
+                table.local_has_op[l0:l1],
+                node_arr,
+                group_arr,
+            )
+        )
+    return ScheduleProfile(
+        p=table.p,
+        n_build=table.n_build,
+        meta=dict(table.meta),
+        steps=tuple(steps),
+    )
+
+
+# -- grid evaluation ---------------------------------------------------------
+
+
+@dataclass(frozen=True, eq=False)
+class _EvalTables:
+    """Per-step structure arrays a profile needs for grid evaluation.
+
+    Everything here is params-independent, so the tables are computed once
+    per profile (cached on the profile object) and reused across campaigns
+    that evaluate the same profile under different cost models.
+    """
+
+    inj: np.ndarray   # (S,) int64 per-step max injection (elements)
+    ej: np.ndarray
+    red: np.ndarray
+    cpy: np.ndarray
+    #: per link class: (step-index array, load array) COO columns
+    load_by_class: tuple[tuple[str, np.ndarray, np.ndarray], ...]
+
+
+@dataclass(frozen=True, eq=False)
+class GridMetrics:
+    """Evaluation result for one profile across a whole size grid.
+
+    Column ``j`` equals :func:`~repro.model.simulator.evaluate_time` at
+    ``n_elems[j]`` bit for bit.
+    """
+
+    time: np.ndarray
+    global_bytes: np.ndarray
+    bytes_by_class: dict
+
+
+def _eval_tables(profile: ScheduleProfile) -> _EvalTables:
+    tabs = profile.__dict__.get("_eval_tables")
+    if tabs is not None:
+        return tabs
+    steps = profile.steps
+    s = len(steps)
+    inj = np.fromiter((st.max_inj for st in steps), np.int64, s)
+    ej = np.fromiter((st.max_ej for st in steps), np.int64, s)
+    red = np.fromiter((st.max_reduce for st in steps), np.int64, s)
+    cpy = np.fromiter((st.max_copy for st in steps), np.int64, s)
+    by_class: dict[str, tuple[list[int], list[float]]] = {}
+    for i, st in enumerate(steps):
+        for cls, load in st.max_link_load:
+            idx, vals = by_class.setdefault(cls, ([], []))
+            idx.append(i)
+            vals.append(load)
+    load_by_class = tuple(
+        (cls, np.asarray(idx, dtype=np.intp), np.asarray(vals, dtype=np.float64))
+        for cls, (idx, vals) in sorted(by_class.items())
+    )
+    tabs = _EvalTables(inj=inj, ej=ej, red=red, cpy=cpy, load_by_class=load_by_class)
+    object.__setattr__(profile, "_eval_tables", tabs)
+    return tabs
+
+
+def _lat_array(profile: ScheduleProfile, params: CostParams) -> np.ndarray:
+    """Per-step latency terms (size-invariant, so computed once per call).
+
+    Identical step objects (analytic profiles replicate one
+    :class:`StepProfile` thousands of times) are evaluated once.
+    """
+    lat = np.empty(len(profile.steps), dtype=np.float64)
+    memo: dict[int, float] = {}
+    alpha_hop = params.alpha_hop
+    for i, step in enumerate(profile.steps):
+        cached = memo.get(id(step))
+        if cached is None:
+            val = 0.0
+            for hops, segs in step.lat_signatures:
+                t = params.alpha + max(0, segs - 1) * params.seg_overhead
+                for cls, h in hops:
+                    t += h * alpha_hop.get(cls, 0.0)
+                val = max(val, t)
+            val += max(0, step.max_node_msgs - 2) * params.msg_cpu
+            cached = memo[id(step)] = val
+        lat[i] = cached
+    return lat
+
+
+def _seq_sum(term: np.ndarray, m: int) -> np.ndarray:
+    """Sum step rows in step order — the scalar loop's accumulation order.
+
+    ``np.add.reduce``/``np.sum`` may regroup a reduction pairwise (which
+    changes the last ulp), but a running prefix sum cannot:
+    ``cumsum[i] = cumsum[i-1] + term[i]`` by definition, so the last row
+    equals ``total += term`` applied step by step, bit for bit.
+    """
+    if term.shape[0] == 0:
+        return np.zeros(m, dtype=np.float64)
+    return np.cumsum(term, axis=0)[-1]
+
+
+def evaluate_grid(
+    profile: ScheduleProfile, params: CostParams, n_elems
+) -> GridMetrics:
+    """Time and traffic for every vector size of ``n_elems`` in one pass.
+
+    The vectorized :func:`~repro.model.simulator.evaluate_time`: column
+    ``j`` of every output equals the scalar call at ``n_elems[j]`` bit for
+    bit (each arithmetic step is applied elementwise in the same order the
+    scalar code applies it).  The per-step structure arrays are cached on
+    the profile, so evaluating a second size grid costs only the NumPy
+    pass.
+
+    Example::
+
+        >>> from repro.collectives.registry import build
+        >>> from repro.model.simulator import evaluate_time, profile_schedule
+        >>> from repro.systems import lumi
+        >>> from repro.topology.mapping import block_mapping
+        >>> preset = lumi()
+        >>> prof = profile_schedule(build("bcast", "bine", 8, 8),
+        ...                         preset.build_topology(), block_mapping(8))
+        >>> g = evaluate_grid(prof, preset.params, [8.0, 1024.0])
+        >>> g.time[1] == evaluate_time(prof, preset.params, 1024.0).time
+        True
+    """
+    n_arr = np.atleast_1d(np.asarray(n_elems, dtype=np.float64))
+    scale = n_arr / profile.n_build
+    m = scale.size
+    b = params.itemsize
+    s = len(profile.steps)
+    tabs = _eval_tables(profile)
+    ports = min(params.ports, int(profile.meta.get("ports_used", 1)))
+
+    bw = np.zeros((s, m), dtype=np.float64)
+    for cls, step_idx, loads in tabs.load_by_class:
+        beta = params.beta.get(cls, 0.0)
+        np.maximum.at(bw, step_idx, loads[:, None] * scale * b * beta)
+    bw = np.maximum(bw, tabs.inj[:, None] * scale * b * params.inj_beta / ports)
+    bw = np.maximum(bw, tabs.ej[:, None] * scale * b * params.inj_beta / ports)
+    comp = tabs.red[:, None] * scale * b * params.reduce_beta
+    copy = tabs.cpy[:, None] * scale * b * params.copy_beta
+    lat = _lat_array(profile, params)[:, None]
+
+    if profile.meta.get("pipelined"):
+        total = _seq_sum(lat + copy, m)
+        step_bw = bw + comp
+        max_step_bw = (
+            np.maximum.reduce(step_bw, axis=0) if s else np.zeros(m)
+        )
+        num_steps = max(1, s)
+        total = total + max_step_bw * (1 + (num_steps - 1) / PIPELINE_CHUNKS)
+    elif profile.segmented:
+        total = _seq_sum(lat + np.maximum(bw, comp) + copy, m)
+    else:
+        total = _seq_sum(lat + bw + comp + copy, m)
+
+    return GridMetrics(
+        time=total,
+        global_bytes=profile.total_global_elems() * scale * b,
+        bytes_by_class={
+            cls: e * scale * b for cls, e in profile.total_class_elems().items()
+        },
+    )

@@ -23,6 +23,7 @@ profile builders.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import chain
 
 import numpy as np
 
@@ -77,15 +78,27 @@ class ScheduleProfile:
     def segmented(self) -> bool:
         return bool(self.meta.get("segmented", False))
 
+    # The step totals are size-invariant, but per-size evaluation used to
+    # re-walk every step for them on each call; both are memoized on the
+    # instance (frozen dataclass, hence object.__setattr__ — the same idiom
+    # as Transfer._nelems).
+
     def total_global_elems(self) -> int:
-        return sum(s.global_elems for s in self.steps)
+        cached = self.__dict__.get("_total_global_elems")
+        if cached is None:
+            cached = sum(s.global_elems for s in self.steps)
+            object.__setattr__(self, "_total_global_elems", cached)
+        return cached
 
     def total_class_elems(self) -> dict[str, int]:
-        out: dict[str, int] = {}
-        for s in self.steps:
-            for cls, e in s.class_elems:
-                out[cls] = out.get(cls, 0) + e
-        return out
+        cached = self.__dict__.get("_total_class_elems")
+        if cached is None:
+            cached = {}
+            for s in self.steps:
+                for cls, e in s.class_elems:
+                    cached[cls] = cached.get(cls, 0) + e
+            object.__setattr__(self, "_total_class_elems", cached)
+        return dict(cached)  # callers may mutate their view
 
 
 @dataclass(frozen=True)
@@ -182,7 +195,13 @@ def profile_step(
     ``np.add.at`` over the concatenated route-link indices, which adds
     contributions in transfer order — bit-identical to the sequential
     per-link scalar accumulation it replaces.
+
+    A :class:`~repro.model.compiled.CompiledRouteTable` passed as ``routes``
+    dispatches to its vectorized kernel (the analytic profile builders rely
+    on this; results are bit-identical either way).
     """
+    if not isinstance(routes, RouteTable):
+        return routes.profile_step(transfers, local_ops, node_of, groups)
     transfers = list(transfers)
     p = len(node_of)
     signatures: set = set()
@@ -307,7 +326,7 @@ def profile_schedule(
                 ),
                 (
                     (lc.rank, lc.nelems, lc.op is not None)
-                    for lc in list(step.pre) + list(step.post)
+                    for lc in chain(step.pre, step.post)
                 ),
                 routes,
                 rank_map.nodes,

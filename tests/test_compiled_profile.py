@@ -1,0 +1,308 @@
+"""Compiled profile pipeline == Python reference, bit for bit.
+
+The ``profile_engine="compiled"`` path (transfer tables, CSR route
+matrices, grid evaluation — :mod:`repro.model.compiled`) must be a pure
+optimization: every :class:`StepProfile`, every evaluated time and every
+sweep record must equal the scalar pipeline's output exactly, not merely
+within tolerance.  These tests pin that contract across the whole
+algorithm registry (including non-power-of-two rank counts), the analytic
+profile builders, the torus catalog, and the sweep layer itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import (
+    ProfileCache,
+    clear_memo_caches,
+    sweep_system,
+    sweep_torus,
+)
+from repro.collectives.registry import ALGORITHMS, spec_for
+from repro.model.analytic import ANALYTIC_PROFILES
+from repro.model.compiled import (
+    CompiledRouteTable,
+    _seq_sum,
+    evaluate_grid,
+    lower_schedule,
+    profile_table,
+    resolve_profile_engine,
+    transfer_table_for,
+)
+from repro.model.simulator import (
+    RouteTable,
+    evaluate_time,
+    profile_schedule,
+)
+from repro.runtime.schedule import schedule_validation
+from repro.systems import fugaku, lumi
+from repro.topology.mapping import block_mapping
+
+RANK_COUNTS = (4, 8, 16, 17, 32)
+#: geometric size grid (the paper's 32 B ... 512 MiB ladder, thinned)
+N_BYTES = tuple(32 * 8**k for k in range(0, 9, 2))
+
+
+def _buildable_schedules(p):
+    """Every registry schedule that exists at ``p`` (validation off)."""
+    for (coll, name), spec in sorted(ALGORITHMS.items()):
+        if spec.max_p is not None and p > spec.max_p:
+            continue
+        try:
+            with schedule_validation(False):
+                yield coll, name, spec.build(p, p)
+        except ValueError:
+            continue  # pow2/divisibility constraint not met
+
+
+class TestStepProfileEquivalence:
+    @pytest.mark.parametrize("p", RANK_COUNTS)
+    def test_registry_profiles_bit_identical(self, p):
+        preset = lumi()
+        topo = preset.build_topology()
+        mapping = block_mapping(p)
+        routes = RouteTable(topo)
+        croutes = CompiledRouteTable(topo)
+        checked = 0
+        for coll, name, sched in _buildable_schedules(p):
+            py = profile_schedule(sched, topo, mapping, routes=routes)
+            co = profile_table(
+                lower_schedule(sched), topo, mapping, routes=croutes
+            )
+            assert py == co, f"{coll}/{name} p={p}"
+            checked += 1
+        # the registry actually covered this p (non-pow2 thins the field)
+        assert checked >= (10 if p & (p - 1) == 0 else 8)
+
+    def test_ppn2_same_node_copies_bit_identical(self):
+        # ppn > 1 exercises the intra-node (shared-memory copy) branch
+        preset = lumi()
+        topo = preset.build_topology()
+        mapping = block_mapping(16, ppn=2)
+        for coll, name in (("allreduce", "bine-rsag"), ("bcast", "binomial-dd")):
+            sched = ALGORITHMS[(coll, name)].build(16, 16)
+            py = profile_schedule(sched, topo, mapping)
+            co = profile_table(lower_schedule(sched), topo, mapping)
+            assert py == co
+
+    def test_analytic_builders_share_the_kernel(self):
+        # analytic profiles call profile_step, which dispatches on the
+        # routes type: a CompiledRouteTable must give identical profiles
+        preset = lumi()
+        topo = preset.build_topology()
+        routes = RouteTable(topo)
+        croutes = CompiledRouteTable(topo)
+        for (coll, name), builder in sorted(ANALYTIC_PROFILES.items()):
+            for p in (16, 256):
+                mapping = block_mapping(p)
+                assert builder(p, topo, mapping, routes=routes) == builder(
+                    p, topo, mapping, routes=croutes
+                ), f"analytic {coll}/{name} p={p}"
+
+    def test_profile_table_rejects_foreign_topology(self):
+        topo_a = lumi().build_topology()
+        topo_b = lumi().build_topology()
+        sched = ALGORITHMS[("bcast", "bine")].build(8, 8)
+        with pytest.raises(ValueError, match="different topology"):
+            profile_table(
+                lower_schedule(sched), topo_a, block_mapping(8),
+                routes=CompiledRouteTable(topo_b),
+            )
+
+    def test_profile_table_rejects_mapping_mismatch(self):
+        topo = lumi().build_topology()
+        sched = ALGORITHMS[("bcast", "bine")].build(8, 8)
+        with pytest.raises(ValueError, match="8"):
+            profile_table(lower_schedule(sched), topo, block_mapping(4))
+
+
+class TestEvaluateGrid:
+    def _profiles(self):
+        preset = lumi()
+        topo = preset.build_topology()
+        out = []
+        for coll, name, p in (
+            ("allreduce", "bine-rsag", 32),           # plain step sum
+            ("allreduce", "bine-rsag-segmented", 32), # segmented overlap
+            ("allreduce", "ring", 16),                # segmented, many steps
+            ("allgather", "bruck", 17),               # non-pow2, local copies
+        ):
+            sched = ALGORITHMS[(coll, name)].build(p, p)
+            out.append(profile_schedule(sched, topo, block_mapping(p)))
+        return preset, out
+
+    def test_matches_per_size_evaluate_time(self):
+        preset, profiles = self._profiles()
+        n_elems = [nb / preset.params.itemsize for nb in N_BYTES]
+        for profile in profiles:
+            grid = evaluate_grid(profile, preset.params, n_elems)
+            for j, n in enumerate(n_elems):
+                m = evaluate_time(profile, preset.params, n)
+                assert grid.time[j] == m.time
+                assert grid.global_bytes[j] == m.global_bytes
+                assert {
+                    cls: arr[j] for cls, arr in grid.bytes_by_class.items()
+                } == m.bytes_by_class
+
+    def test_pipelined_meta_matches(self):
+        # the trinaryx torus chains carry the ``pipelined`` cost flag
+        from repro.collectives.torus import torus_specs
+        from repro.core.torus_opt import TorusShape
+        from repro.topology.torus import Torus
+
+        preset = fugaku()
+        shape, topo = TorusShape((2, 2, 2)), Torus((2, 2, 2))
+        mapping = block_mapping(shape.num_ranks)
+        seen_pipelined = False
+        for spec in torus_specs():
+            with schedule_validation(False):
+                sched = spec.build(shape)
+            seen_pipelined |= bool(sched.meta.get("pipelined"))
+            profile = profile_schedule(sched, topo, mapping)
+            n_elems = [nb / 4 for nb in N_BYTES]
+            grid = evaluate_grid(profile, preset.params, n_elems)
+            for j, n in enumerate(n_elems):
+                assert grid.time[j] == evaluate_time(profile, preset.params, n).time
+        assert seen_pipelined  # the flag's code path was actually exercised
+
+    def test_analytic_ring_large_p(self):
+        # thousands of replicated steps: the _lat_array id-memo path
+        preset = lumi()
+        topo = preset.build_topology()
+        profile = ANALYTIC_PROFILES[("allreduce", "ring")](
+            1024, topo, block_mapping(1024)
+        )
+        n_elems = [nb / preset.params.itemsize for nb in N_BYTES]
+        grid = evaluate_grid(profile, preset.params, n_elems)
+        for j, n in enumerate(n_elems):
+            assert grid.time[j] == evaluate_time(profile, preset.params, n).time
+
+    def test_seq_sum_matches_sequential_loop(self):
+        # the summation must add rows in step order (no pairwise
+        # regrouping) — the property the bit-identity contract leans on;
+        # single-column matrices are the historical trap (np.add.reduce
+        # regroups them)
+        rng = np.random.default_rng(7)
+        for cols in (1, 9):
+            term = rng.random((4097, cols)) * np.logspace(-18, 3, 4097)[:, None]
+            expect = np.zeros(cols)
+            for row in term:
+                expect = expect + row
+            assert np.array_equal(_seq_sum(term, cols), expect)
+            assert np.array_equal(_seq_sum(np.asfortranarray(term), cols), expect)
+            assert np.array_equal(_seq_sum(term[:0], cols), np.zeros(cols))
+
+
+class TestSweepRecordEquivalence:
+    def test_sweep_records_bit_identical_across_engines(self):
+        preset = lumi()
+        kwargs = dict(
+            node_counts=(8, 16, 17, 32),
+            vector_bytes=N_BYTES,
+            max_p={"alltoall": 16},
+        )
+        collectives = tuple(sorted({c for c, _ in ALGORITHMS}))
+        py = sweep_system(preset, collectives, profile_engine="python", **kwargs)
+        co = sweep_system(preset, collectives, profile_engine="compiled", **kwargs)
+        assert py == co
+        assert len(py) > 300
+
+    def test_reference_lumi_campaign_bit_identical(self):
+        # the BENCH_sweep.json campaign's shape (3 collectives, the nine
+        # paper sizes) — the acceptance contract for the compiled engine
+        preset = lumi()
+        kwargs = dict(
+            node_counts=(16, 64, 256),
+            vector_bytes=tuple(32 * 8**k for k in range(9)),
+        )
+        collectives = ("allreduce", "allgather", "bcast")
+        py = sweep_system(preset, collectives, profile_engine="python", **kwargs)
+        co = sweep_system(preset, collectives, profile_engine="compiled", **kwargs)
+        assert py == co
+        assert len(py) > 500
+
+    def test_sweep_records_identical_with_ppn(self):
+        preset = lumi()
+        kwargs = dict(node_counts=(16, 32), vector_bytes=(1024,), ppn=2)
+        py = sweep_system(preset, ("allreduce",), profile_engine="python", **kwargs)
+        co = sweep_system(preset, ("allreduce",), profile_engine="compiled", **kwargs)
+        assert py == co and py
+
+    def test_torus_sweep_bit_identical(self):
+        preset = fugaku()
+        kwargs = dict(vector_bytes=N_BYTES)
+        for dims in ((2, 4), (2, 2, 2)):
+            py = sweep_torus(
+                preset, dims, ("bcast", "allreduce", "allgather"),
+                profile_engine="python", **kwargs
+            )
+            co = sweep_torus(
+                preset, dims, ("bcast", "allreduce", "allgather"),
+                profile_engine="compiled", **kwargs
+            )
+            assert py == co and py
+
+    def test_profile_cache_engines_agree_including_analytic(self):
+        # p=256 allreduce/ring crosses ANALYTIC_THRESHOLD: the compiled
+        # cache must hand the analytic builder its CSR table and still
+        # produce the same profile object graph
+        preset = lumi()
+        spec = spec_for("allreduce", "ring")
+        py = ProfileCache(preset, profile_engine="python")
+        co = ProfileCache(preset, profile_engine="compiled")
+        assert py.get(spec, 256) == co.get(spec, 256)
+        assert py.get(spec, 16) == co.get(spec, 16)
+
+
+class TestTransferTableMemo:
+    def test_memoized_per_registry_cell(self):
+        clear_memo_caches()
+        spec = spec_for("bcast", "bine")
+        first = transfer_table_for(spec, 16)
+        assert first is transfer_table_for(spec, 16)
+        clear_memo_caches()
+        rebuilt = transfer_table_for(spec, 16)
+        assert rebuilt is not first
+        assert np.array_equal(rebuilt.src, first.src)
+        assert np.array_equal(rebuilt.nelems, first.nelems)
+
+    def test_constraint_miss_cached_as_none(self):
+        spec = spec_for("bcast", "bine")  # pow2-only
+        assert transfer_table_for(spec, 24) is None
+        assert transfer_table_for(spec, 24) is None
+
+    def test_lowering_matches_schedule(self):
+        sched = spec_for("allreduce", "bine-rsag").build(16, 16)
+        table = lower_schedule(sched)
+        assert table.num_steps == sched.num_steps
+        assert table.num_transfers == sum(
+            len(s.transfers) for s in sched.steps
+        )
+        assert int(table.nelems.sum()) == sched.total_comm_elems()
+        # local ops keep pre-then-post step order
+        for i, step in enumerate(sched.steps):
+            lo, hi = table.local_off[i], table.local_off[i + 1]
+            assert hi - lo == len(step.pre) + len(step.post)
+
+
+class TestEngineKnob:
+    def test_default_is_compiled(self):
+        assert resolve_profile_engine() == "compiled"
+        assert resolve_profile_engine("python") == "python"
+
+    def test_env_var_sets_default_only(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE_ENGINE", "python")
+        assert resolve_profile_engine() == "python"
+        # an explicit engine must survive the env var: the perf bench and
+        # this suite pin both engines to compare them against each other
+        assert resolve_profile_engine("compiled") == "compiled"
+        monkeypatch.setenv("REPRO_PROFILE_ENGINE", "")
+        assert resolve_profile_engine() == "compiled"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown profile engine"):
+            resolve_profile_engine("fortran")
+        with pytest.raises(ValueError, match="unknown profile engine"):
+            ProfileCache(lumi(), profile_engine="fortran")

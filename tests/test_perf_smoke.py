@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 
-from repro.analysis.sweep import clear_memo_caches
+from repro.analysis.sweep import clear_memo_caches, sweep_system
 from repro.collectives.butterfly_collectives import allgather_butterfly
 from repro.collectives.registry import build
 from repro.collectives.verify import check, init_buffers, run_and_check_compiled
@@ -64,6 +64,33 @@ def test_256_rank_compiled_oracle_under_reference_budget():
     assert compiled_s < max(reference_s, 0.05), (
         f"compile+execute took {compiled_s:.3f}s, "
         f"reference budget is {reference_s:.3f}s"
+    )
+
+
+def test_4096_rank_sweep_cell_under_budget():
+    """One cold p=4096 sweep cell — build, lower, profile through the CSR
+    route matrix, evaluate all nine paper sizes in one grid pass — must
+    stay comfortably interactive (the compiled profile pipeline's reason
+    to exist; this cell measured ~1.4 s cold on the bench box).  LUMI has
+    24 x 124 = 2976 nodes, so 4096 ranks run at ppn=2 like the paper's
+    multi-rank-per-node configurations.
+    """
+    clear_memo_caches()  # cold start: include table lowering + routing
+    t0 = time.perf_counter()
+    records = sweep_system(
+        lumi(),
+        ("allreduce",),
+        node_counts=(4096,),
+        vector_bytes=tuple(32 * 8**k for k in range(9)),
+        algorithms=("bine-rsag",),
+        ppn=2,
+        profile_engine="compiled",
+    )
+    elapsed = time.perf_counter() - t0
+    assert len(records) == 9
+    assert all(r.p == 4096 and r.time > 0 for r in records)
+    assert elapsed < BUDGET_S * 2, (
+        f"p=4096 sweep cell took {elapsed:.2f}s (budget {BUDGET_S * 2}s)"
     )
 
 
