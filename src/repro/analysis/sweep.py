@@ -25,15 +25,26 @@ numbers produced:
   shares node-pair routes across every algorithm and mapping of a campaign;
 * an optional on-disk profile cache (``disk_dir=``) persists
   :class:`~repro.model.simulator.ScheduleProfile` objects across processes,
-  keyed by ``(system, placement, seed, busy_fraction, collective,
-  algorithm, p, ppn)``; delete the directory (or bump ``_CACHE_VERSION``)
-  to invalidate.
+  keyed by ``(system, placement, seed, busy_fraction, faults, collective,
+  algorithm, p, ppn)``; entries carry a magic/length header, and
+  truncated, stale or unreadable entries are recomputed (with a
+  :class:`RuntimeWarning`), never trusted; delete the directory (or bump
+  ``_CACHE_VERSION``) to invalidate wholesale.
 
 ``sweep_system(..., workers=N)`` shards the grid over ``(collective, p)``
 pairs onto a :class:`~concurrent.futures.ProcessPoolExecutor`.  Scheduler
 placements are pre-sampled in the parent in the exact first-touch order of
 the serial sweep and shipped to the workers, so parallel results are
-record-for-record identical to serial ones.
+record-for-record identical to serial ones.  Shard execution is
+resilient: crashed or timed-out shards are re-queued once onto a fresh
+pool, and if that round fails too the survivors run serially in the
+parent (with a :class:`RuntimeWarning`) — a flaky worker degrades
+throughput, never records.
+
+``sweep_system(..., faults=FaultSpec(...))`` evaluates the grid on a
+:class:`~repro.faults.DegradedTopology`; the spec's label lands in every
+record (and the disk-cache namespace), so per-scenario results never
+collide with pristine ones.
 """
 
 from __future__ import annotations
@@ -43,7 +54,9 @@ import os
 import pickle
 import re
 import tempfile
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import warnings
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -52,7 +65,6 @@ from repro.collectives.registry import ALGORITHMS, AlgorithmSpec
 from repro.model.analytic import ANALYTIC_PROFILES, ANALYTIC_THRESHOLD
 from repro.model.compiled import (
     CompiledRouteTable,
-    clear_table_cache,
     evaluate_grid,
     lower_schedule,
     profile_table,
@@ -66,6 +78,8 @@ from repro.model.simulator import (
     evaluate_time,
     profile_schedule,
 )
+from repro.faults import DegradedTopology, FaultSpec
+from repro.runtime.errors import CacheCorruptionError, WorkerShardError
 from repro.runtime.schedule import schedule_validation
 from repro.systems.presets import SystemPreset
 from repro.topology.allocation import AllocationSampler, SystemShape
@@ -78,7 +92,49 @@ __all__ = [
     "sweep_torus",
     "ProfileCache",
     "clear_memo_caches",
+    "memo_cache_registry",
+    "memo_cache_sizes",
 ]
+
+
+def memo_cache_registry() -> dict[str, tuple]:
+    """Every module-level memo cache, as ``name -> (size probe, clearer)``.
+
+    The single enumeration behind :func:`clear_memo_caches` and
+    :func:`memo_cache_sizes`: a new process-level cache anywhere in the
+    pipeline must be registered here (the tier-1 completeness test in
+    ``tests/test_resilience.py`` scans the modules and fails when a
+    ``*_CACHE`` dict or label-table LRU is missing).
+    """
+    from repro.collectives import butterfly_collectives as _bc
+    from repro.collectives import common as _common
+    from repro.collectives import verify as _verify
+    from repro.core import bine_tree as _bine
+    from repro.core import negabinary as _nb
+    from repro.model import compiled as _compiled
+
+    def lru(fn):
+        return (lambda: fn.cache_info().currsize, fn.cache_clear)
+
+    def table(mapping):
+        return (lambda: len(mapping), mapping.clear)
+
+    return {
+        "negabinary.rank_to_nb_table": lru(_nb.rank_to_nb_table),
+        "bine_tree._nu_table": lru(_bine._nu_table),
+        "bine_tree._nu_inverse_table": lru(_bine._nu_inverse_table),
+        "common._pi_table": lru(_common._pi_table),
+        "common._pi_inv_table": lru(_common._pi_inv_table),
+        "butterfly_collectives._SEG_CACHE": table(_bc._SEG_CACHE),
+        "verify._PLAN_CACHE": table(_verify._PLAN_CACHE),
+        "verify._PATTERN_CACHE": table(_verify._PATTERN_CACHE),
+        "compiled._TABLE_CACHE": table(_compiled._TABLE_CACHE),
+    }
+
+
+def memo_cache_sizes() -> dict[str, int]:
+    """Current entry count of every registered memo cache (observability)."""
+    return {name: probe() for name, (probe, _) in memo_cache_registry().items()}
 
 
 def clear_memo_caches() -> None:
@@ -87,8 +143,9 @@ def clear_memo_caches() -> None:
     Used by cold-start benchmarks (and available to long-lived services that
     want to bound memory): clears the per-``p`` negabinary/ν/π label tables,
     the cross-schedule butterfly segment cache, the compiled-executor
-    plan cache, and the compiled-profiler transfer-table cache.  Per-
-    :class:`ProfileCache` state (route tables, profiles,
+    plan and input-pattern caches, and the compiled-profiler
+    transfer-table cache — everything :func:`memo_cache_registry`
+    enumerates.  Per-:class:`ProfileCache` state (route tables, profiles,
     mappings) is unaffected — drop the cache object itself for that.
 
     Example::
@@ -96,23 +153,17 @@ def clear_memo_caches() -> None:
         >>> from repro.analysis.sweep import clear_memo_caches
         >>> clear_memo_caches()  # next schedule build starts fully cold
     """
-    from repro.collectives import butterfly_collectives as _bc
-    from repro.collectives import common as _common
-    from repro.collectives.verify import clear_plan_cache
-    from repro.core import bine_tree as _bine
-    from repro.core import negabinary as _nb
-
-    _nb.rank_to_nb_table.cache_clear()
-    _bine._nu_table.cache_clear()
-    _bine._nu_inverse_table.cache_clear()
-    _common._pi_table.cache_clear()
-    _common._pi_inv_table.cache_clear()
-    _bc._SEG_CACHE.clear()
-    clear_plan_cache()
-    clear_table_cache()
+    for _probe, clear in memo_cache_registry().values():
+        clear()
 
 #: bump to invalidate every on-disk profile cache entry
-_CACHE_VERSION = 1
+_CACHE_VERSION = 2
+
+#: on-disk entry header: magic + format version; followed by an 8-byte
+#: little-endian payload length, then the pickled profile.  Lets warm runs
+#: tell a truncated or foreign file from a real entry before unpickling.
+_CACHE_MAGIC = b"RPCACHE2"
+_CACHE_LEN_BYTES = 8
 
 #: sentinel distinguishing "not on disk" from a cached ``None`` (skipped combo)
 _MISS = object()
@@ -128,6 +179,7 @@ RECORD_FIELDS = (
     "n_bytes",
     "time",
     "global_bytes",
+    "faults",
 )
 
 
@@ -135,11 +187,16 @@ RECORD_FIELDS = (
 class SweepRecord:
     """One evaluated ``(system, collective, algorithm, p, n_bytes)`` cell.
 
+    ``faults`` is the :attr:`repro.faults.FaultSpec.label` of the fabric
+    condition the cell was evaluated under (``"none"`` = pristine); it is
+    part of the cell identity, so degraded and pristine results of the
+    same grid never collide in summaries, heatmaps or baselines.
+
     Example::
 
         >>> r = SweepRecord("lumi", "bcast", "bine", "bine", 16, 32, 1e-6, 64.0)
         >>> r.key
-        ('bcast', 16, 32)
+        ('bcast', 16, 32, 'none')
         >>> SweepRecord.from_dict(r.to_dict()) == r
         True
     """
@@ -152,11 +209,12 @@ class SweepRecord:
     n_bytes: int
     time: float
     global_bytes: float
+    faults: str = "none"
 
     @property
     def key(self) -> tuple:
         """Cell identity — records sharing a key compete in summaries."""
-        return (self.collective, self.p, self.n_bytes)
+        return (self.collective, self.p, self.n_bytes, self.faults)
 
     def to_dict(self) -> dict:
         """Plain-dict view in :data:`RECORD_FIELDS` order, for export."""
@@ -164,8 +222,14 @@ class SweepRecord:
 
     @classmethod
     def from_dict(cls, d: dict) -> "SweepRecord":
-        """Rebuild a record from :meth:`to_dict` output (JSON round-trips)."""
-        return cls(**{f: d[f] for f in RECORD_FIELDS})
+        """Rebuild a record from :meth:`to_dict` output (JSON round-trips).
+
+        ``faults`` defaults to ``"none"`` so record files written before
+        the fault axis existed keep loading unchanged.
+        """
+        values = {f: d[f] for f in RECORD_FIELDS if f != "faults"}
+        values["faults"] = d.get("faults", "none")
+        return cls(**values)
 
 
 class ProfileCache:
@@ -181,10 +245,17 @@ class ProfileCache:
 
     ``disk_dir`` enables a persistent second-level cache: profiles are
     pickled under ``disk_dir`` keyed by ``(system, placement, seed,
-    busy_fraction, collective, algorithm, p, ppn)`` so campaigns survive
-    across processes (and parallel workers share work).  Scheduler-placement
-    mappings are still sampled in the same order on warm runs, keeping
-    warm results identical to cold ones.
+    busy_fraction, faults, collective, algorithm, p, ppn)`` so campaigns
+    survive across processes (and parallel workers share work).
+    Scheduler-placement mappings are still sampled in the same order on
+    warm runs, keeping warm results identical to cold ones.
+
+    ``faults`` applies a :class:`~repro.faults.FaultSpec` by wrapping the
+    preset topology in a :class:`~repro.faults.DegradedTopology`; the
+    spec's label namespaces the disk cache and tags every record.  When
+    the preset's topology factory already returns a degraded topology
+    (the parallel-shard path), its spec governs and ``faults`` must be
+    omitted.
 
     ``profile_engine`` picks the profiling backend: ``"compiled"`` (the
     default) lowers each schedule once into a memoized
@@ -204,9 +275,23 @@ class ProfileCache:
         disk_dir: str | os.PathLike | None = None,
         mappings: dict[tuple[int, int], RankMap] | None = None,
         profile_engine: str | None = None,
+        faults: FaultSpec | None = None,
     ):
         self.preset = preset
-        self.topo = preset.build_topology()
+        topo = preset.build_topology()
+        if isinstance(topo, DegradedTopology):
+            # the preset factory already carries the degradation (parallel
+            # shards rebuild presets around a pickled degraded topology)
+            if faults is not None and faults != topo.spec:
+                raise ValueError(
+                    "preset topology is already degraded; pass faults=None"
+                )
+            self.faults = topo.spec
+        else:
+            self.faults = faults if faults is not None else FaultSpec()
+            if not self.faults.is_null:
+                topo = DegradedTopology(topo, self.faults)
+        self.topo = topo
         self.placement = placement
         self.seed = seed
         self.busy_fraction = busy_fraction
@@ -324,13 +409,19 @@ class ProfileCache:
 
     # -- on-disk persistence ------------------------------------------------
 
+    @property
+    def faults_label(self) -> str:
+        """The fault-scenario tag stamped on records (``"none"`` = pristine)."""
+        return self.faults.label
+
     def _disk_path(self, key: tuple, mapping: RankMap) -> Path | None:
         if self.disk_dir is None:
             return None
         collective, name, p, ppn = key
         campaign = _slug(
             f"{self.preset.name}-{self.placement}"
-            f"-seed{self.seed}-busy{self.busy_fraction}-v{_CACHE_VERSION}"
+            f"-seed{self.seed}-busy{self.busy_fraction}"
+            f"-faults.{self.faults_label}-v{_CACHE_VERSION}"
         )
         # Scheduler placements are order-dependent RNG draws: a different
         # sweep grid first-touches rank counts in a different order and gets
@@ -349,10 +440,12 @@ class ProfileCache:
         if path is None or not path.exists():
             return _MISS
         try:
-            with open(path, "rb") as fh:
-                return pickle.load(fh)
-        except Exception:
-            return _MISS  # corrupt / partial entry: rebuild and overwrite
+            return _read_cache_entry(path)
+        except CacheCorruptionError as exc:
+            # a half-written, truncated or stale entry must degrade to a
+            # recompute (the store below overwrites it), never to a crash
+            warnings.warn(f"profile cache: {exc}; recomputing", RuntimeWarning)
+            return _MISS
 
     def _disk_store(
         self, key: tuple, profile: ScheduleProfile | None, mapping: RankMap
@@ -361,11 +454,18 @@ class ProfileCache:
         if path is None:
             return
         path.parent.mkdir(parents=True, exist_ok=True)
-        # atomic publish: parallel workers may race on the same entry
+        payload = pickle.dumps(profile, protocol=pickle.HIGHEST_PROTOCOL)
+        # atomic publish: parallel workers may race on the same entry; the
+        # fsync before the rename keeps a crash from publishing a file whose
+        # tail never reached disk
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(profile, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(_CACHE_MAGIC)
+                fh.write(len(payload).to_bytes(_CACHE_LEN_BYTES, "little"))
+                fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -373,6 +473,26 @@ class ProfileCache:
             except OSError:
                 pass
             raise
+
+
+def _read_cache_entry(path: Path):
+    """Decode one disk-cache entry; :class:`CacheCorruptionError` if unsound."""
+    blob = path.read_bytes()
+    header = len(_CACHE_MAGIC) + _CACHE_LEN_BYTES
+    if len(blob) < header or not blob.startswith(_CACHE_MAGIC):
+        raise CacheCorruptionError(
+            f"{path}: missing or stale cache header (expected {_CACHE_MAGIC!r})"
+        )
+    length = int.from_bytes(blob[len(_CACHE_MAGIC):header], "little")
+    if len(blob) - header != length:
+        raise CacheCorruptionError(
+            f"{path}: truncated entry ({len(blob) - header} of {length} "
+            "payload bytes)"
+        )
+    try:
+        return pickle.loads(blob[header:])
+    except Exception as exc:
+        raise CacheCorruptionError(f"{path}: unreadable payload ({exc})") from exc
 
 
 def _slug(text: str) -> str:
@@ -406,6 +526,7 @@ def _profile_records(
     p: int,
     vector_bytes: Sequence[int],
     params: CostParams,
+    faults: str = "none",
 ) -> list[SweepRecord]:
     """Records for one profile across the size grid, on either engine.
 
@@ -433,6 +554,7 @@ def _profile_records(
             n_bytes=nb,
             time=float(time),
             global_bytes=float(gbytes),
+            faults=faults,
         )
         for nb, time, gbytes in cells
     ]
@@ -465,7 +587,7 @@ def _evaluate_grid(
             records.extend(
                 _profile_records(
                     profile, cache.engine, preset.name, spec, p,
-                    vector_bytes, params,
+                    vector_bytes, params, faults=cache.faults_label,
                 )
             )
     return records
@@ -486,6 +608,7 @@ def sweep_system(
     workers: int | None = None,
     disk_dir: str | os.PathLike | None = None,
     profile_engine: str | None = None,
+    faults: FaultSpec | None = None,
 ) -> list[SweepRecord]:
     """Evaluate every applicable algorithm across the grid.
 
@@ -502,6 +625,11 @@ def sweep_system(
     bit-identical).  Like ``disk_dir`` it is ignored when an explicit
     ``cache`` is passed — the cache's engine governs.
 
+    ``faults`` evaluates the grid on a degraded fabric (see
+    :class:`~repro.faults.FaultSpec`); the scenario label lands in every
+    record.  Like the other cache knobs it is ignored when an explicit
+    ``cache`` is passed.
+
     Example (one-cell grid)::
 
         >>> from repro.systems import lumi
@@ -517,7 +645,7 @@ def sweep_system(
     params = params or preset.params
     cache = cache or ProfileCache(
         preset, placement=placement, disk_dir=disk_dir,
-        profile_engine=profile_engine,
+        profile_engine=profile_engine, faults=faults,
     )
     specs = _selected_specs(collectives, algorithms)
     if workers is not None and workers > 1:
@@ -595,6 +723,24 @@ def sweep_torus(
 
 # -- parallel campaigns ------------------------------------------------------
 
+#: wall-clock budget per shard result; a worker that exceeds it is treated
+#: as hung and its cell re-queued (override: REPRO_SHARD_TIMEOUT seconds)
+_SHARD_TIMEOUT_S = 300.0
+
+#: extra pool rounds after the first before falling back to serial
+_SHARD_RETRIES = 1
+
+#: pool/worker failures that justify a retry round; anything else (a real
+#: repro bug inside a shard) propagates unchanged
+_RETRIABLE = (BrokenExecutor, TimeoutError, _FuturesTimeout, OSError)
+
+
+def _shard_timeout() -> float:
+    try:
+        return float(os.environ.get("REPRO_SHARD_TIMEOUT", _SHARD_TIMEOUT_S))
+    except ValueError:
+        return _SHARD_TIMEOUT_S
+
 
 def _sweep_shard(
     topo,
@@ -616,8 +762,14 @@ def _sweep_shard(
     """Worker: evaluate one ``(collective, p)`` cell of the grid.
 
     Mappings are pre-sampled in the parent (placement draws are
-    order-dependent), so the worker never touches the allocation RNG.
+    order-dependent), so the worker never touches the allocation RNG.  A
+    degraded ``topo`` arrives pickled with its fault sets intact, so the
+    worker reproduces the parent's routes exactly.
     """
+    if os.environ.get("REPRO_TEST_CRASH_SHARD"):
+        # test chaos hook: die the way a seg-faulting worker would, so the
+        # resilience path (retry → serial fallback) is exercised end to end
+        os._exit(17)
     preset = SystemPreset(
         name=system_name,
         topology=lambda: topo,
@@ -640,6 +792,36 @@ def _sweep_shard(
     )
 
 
+def _run_shard_round(
+    shard_args: dict[int, tuple], workers: int, timeout: float
+) -> tuple[dict[int, list[SweepRecord]], list[int]]:
+    """One process-pool round; returns ``(results by cell, failed cells)``.
+
+    Only pool-infrastructure failures (crashed worker, hung shard, broken
+    pipe) land in the failed list; deterministic exceptions raised *by*
+    shard code propagate to the caller unchanged.
+    """
+    results: dict[int, list[SweepRecord]] = {}
+    failed: list[int] = []
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+        futures: dict[int, object] = {}
+        for i, args in shard_args.items():
+            try:
+                futures[i] = pool.submit(_sweep_shard, *args)
+            except _RETRIABLE:
+                failed.append(i)
+        for i, fut in futures.items():
+            try:
+                results[i] = fut.result(timeout=timeout)
+            except _RETRIABLE:
+                failed.append(i)
+    finally:
+        # don't wait: a hung worker must not hang the parent too
+        pool.shutdown(wait=False, cancel_futures=True)
+    return results, failed
+
+
 def _sweep_parallel(
     preset: SystemPreset,
     cache: ProfileCache,
@@ -651,7 +833,16 @@ def _sweep_parallel(
     ppn: int,
     workers: int,
 ) -> list[SweepRecord]:
-    """Fan ``(collective, p)`` cells over a process pool, preserving order."""
+    """Fan ``(collective, p)`` cells over a process pool, preserving order.
+
+    Execution is resilient: cells whose shard crashed or timed out are
+    re-queued onto a fresh pool (``_SHARD_RETRIES`` extra rounds), and
+    cells that still fail are evaluated serially in the parent with a
+    :class:`RuntimeWarning` — worker failures degrade throughput, never
+    correctness or completeness.  Set ``REPRO_SHARD_FALLBACK=0`` to raise
+    :class:`~repro.runtime.errors.WorkerShardError` instead of falling
+    back (CI setups that want crashes loud).
+    """
     # Pre-sample every mapping in the exact first-touch order of the serial
     # sweep so scheduler allocations match it draw for draw.
     cells: list[tuple[str, int]] = []
@@ -666,32 +857,65 @@ def _sweep_parallel(
                 cells.append((spec.collective, p))
     algorithm_names = tuple(sorted({s.name for s in specs})) if specs else None
     disk_dir = str(cache.disk_dir) if cache.disk_dir is not None else None
+    shard_args = {
+        i: (
+            cache.topo,
+            preset.name,
+            params,
+            cache.placement,
+            cache.seed,
+            cache.busy_fraction,
+            dict(cache._mappings),
+            disk_dir,
+            cache.engine,
+            coll,
+            p,
+            vector_bytes,
+            algorithm_names,
+            max_p,
+            ppn,
+        )
+        for i, (coll, p) in enumerate(cells)
+    }
+    timeout = _shard_timeout()
     grouped: dict[tuple[str, str, int], list[SweepRecord]] = {}
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [
-            pool.submit(
-                _sweep_shard,
-                cache.topo,
-                preset.name,
-                params,
-                cache.placement,
-                cache.seed,
-                cache.busy_fraction,
-                dict(cache._mappings),
-                disk_dir,
-                cache.engine,
-                coll,
-                p,
-                vector_bytes,
-                algorithm_names,
-                max_p,
-                ppn,
+
+    def _absorb(records: Iterable[SweepRecord]) -> None:
+        for rec in records:
+            grouped.setdefault(
+                (rec.collective, rec.algorithm, rec.p), []
+            ).append(rec)
+
+    pending = dict(shard_args)
+    for _round in range(1 + _SHARD_RETRIES):
+        if not pending:
+            break
+        results, failed = _run_shard_round(pending, workers, timeout)
+        for i, recs in results.items():
+            _absorb(recs)
+        pending = {i: shard_args[i] for i in sorted(failed)}
+    if pending:
+        lost = [cells[i] for i in sorted(pending)]
+        if os.environ.get("REPRO_SHARD_FALLBACK", "1") == "0":
+            raise WorkerShardError(
+                f"{len(lost)} shard(s) failed after {1 + _SHARD_RETRIES} "
+                f"pool rounds: {lost}"
             )
-            for coll, p in cells
-        ]
-        for fut in as_completed(futures):
-            for rec in fut.result():
-                grouped.setdefault((rec.collective, rec.algorithm, rec.p), []).append(rec)
+        warnings.warn(
+            f"parallel sweep: {len(lost)} shard(s) crashed or timed out "
+            f"after {1 + _SHARD_RETRIES} pool rounds; evaluating {lost} "
+            "serially",
+            RuntimeWarning,
+        )
+        for i in sorted(pending):
+            coll, p = cells[i]
+            cell_specs = [s for s in specs if s.collective == coll]
+            _absorb(
+                _evaluate_grid(
+                    preset, cache, cell_specs, (p,), vector_bytes, params,
+                    max_p, ppn,
+                )
+            )
     records: list[SweepRecord] = []
     for spec in specs:
         for p in node_counts:

@@ -30,6 +30,8 @@ from dataclasses import dataclass, field
 from repro.analysis.summarize import DuelSummary, family_duel
 from repro.analysis.sweep import ProfileCache, SweepRecord, sweep_system, sweep_torus
 from repro.cli.manifest import CampaignManifest
+from repro.faults import FaultSpec
+from repro.runtime.errors import FaultSpecError
 from repro.systems import system_for
 
 __all__ = ["CampaignResult", "run_campaign", "duel_summaries"]
@@ -78,6 +80,7 @@ def run_campaign(
     disk_dir: str | os.PathLike | None = None,
     cache: ProfileCache | None = None,
     profile_engine: str | None = None,
+    faults: tuple[FaultSpec, ...] | None = None,
 ) -> CampaignResult:
     """Run every grid of ``manifest`` and, if requested, summarise.
 
@@ -89,6 +92,14 @@ def run_campaign(
     ``cache`` overrides the manifest's placement context *and* the engine —
     the bench suite uses this to share one cache across benches.
 
+    ``faults`` overrides the manifest's ``[[faults]]`` scenario list (the
+    ``--faults`` CLI flag).  Every grid runs once per scenario against a
+    scenario-local :class:`ProfileCache` (same placement draws in each:
+    the mapping sampler is independent of the fabric condition), and the
+    records carry the scenario label.  An explicit ``cache`` only
+    combines with the single pristine scenario — fault campaigns need one
+    cache per degraded topology.
+
     Example::
 
         >>> from repro.cli.manifest import load_manifest
@@ -98,44 +109,59 @@ def run_campaign(
         8
     """
     preset = system_for(manifest.system)
-    if cache is None:
-        cache = ProfileCache(
+    scenarios = tuple(faults) if faults is not None else manifest.faults
+    if not scenarios:
+        scenarios = (FaultSpec(),)
+    degraded = [s for s in scenarios if not s.is_null]
+    if degraded and any(g.torus_dims is not None for g in manifest.grids):
+        raise FaultSpecError(
+            "fault scenarios do not apply to torus_dims grids "
+            "(a torus has no global links to fail)"
+        )
+    if cache is not None and (len(scenarios) > 1 or degraded):
+        raise ValueError(
+            "an explicit cache only combines with the single pristine "
+            "scenario; fault campaigns build one cache per scenario"
+        )
+    records: list[SweepRecord] = []
+    for scenario in scenarios:
+        scenario_cache = cache or ProfileCache(
             preset,
             placement=manifest.placement,
             seed=manifest.seed,
             busy_fraction=manifest.busy_fraction,
             disk_dir=disk_dir,
             profile_engine=profile_engine,
+            faults=scenario,
         )
-    records: list[SweepRecord] = []
-    for grid in manifest.grids:
-        if grid.torus_dims is not None:
-            # torus grids build one schedule per catalog entry — cheap
-            # enough that the profile cache / worker knobs don't apply
+        for grid in manifest.grids:
+            if grid.torus_dims is not None:
+                # torus grids build one schedule per catalog entry — cheap
+                # enough that the profile cache / worker knobs don't apply
+                records.extend(
+                    sweep_torus(
+                        preset,
+                        grid.torus_dims,
+                        grid.collectives,
+                        vector_bytes=grid.vector_bytes,
+                        algorithms=grid.algorithms,
+                        profile_engine=scenario_cache.engine,
+                    )
+                )
+                continue
             records.extend(
-                sweep_torus(
+                sweep_system(
                     preset,
-                    grid.torus_dims,
                     grid.collectives,
+                    node_counts=grid.node_counts,
                     vector_bytes=grid.vector_bytes,
                     algorithms=grid.algorithms,
-                    profile_engine=cache.engine,
+                    max_p=grid.max_p,
+                    ppn=grid.ppn,
+                    cache=scenario_cache,
+                    workers=workers,
                 )
             )
-            continue
-        records.extend(
-            sweep_system(
-                preset,
-                grid.collectives,
-                node_counts=grid.node_counts,
-                vector_bytes=grid.vector_bytes,
-                algorithms=grid.algorithms,
-                max_p=grid.max_p,
-                ppn=grid.ppn,
-                cache=cache,
-                workers=workers,
-            )
-        )
     result = CampaignResult(manifest, records)
     if manifest.summary is not None:
         result.summaries, result.skipped = duel_summaries(

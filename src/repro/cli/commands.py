@@ -26,6 +26,8 @@ from repro.cli import formatters as fmt
 from repro.cli.campaign import duel_summaries, run_campaign
 from repro.cli.manifest import ManifestError, load_manifest
 from repro.collectives.registry import COLLECTIVES, build, families, iter_specs
+from repro.faults import FaultSpec
+from repro.runtime.errors import FaultSpecError
 from repro.runtime.schedule import validation_enabled
 from repro.systems import ALL_SYSTEMS, system_for
 
@@ -52,6 +54,23 @@ def _emit(text: str, output: str | None) -> None:
 def _fail(message: str) -> int:
     print(f"error: {message}", file=sys.stderr)
     return 2
+
+
+def _parse_faults(args) -> tuple[FaultSpec, ...] | None:
+    """``--faults`` strings → scenarios, or ``None`` when the flag is absent.
+
+    Raised :class:`FaultSpecError`\\ s propagate to ``main()``, which maps
+    them to exit code 3 (parsing happens here, not in an argparse ``type``,
+    precisely so the taxonomy handler sees them).
+    """
+    specs = getattr(args, "faults", None)
+    if specs is None:
+        return None
+    scenarios = tuple(FaultSpec.parse(text) for text in specs)
+    labels = [s.label for s in scenarios]
+    if len(set(labels)) != len(labels):
+        raise FaultSpecError(f"duplicate --faults scenarios: {labels}")
+    return scenarios
 
 
 def _check_grid_selection(collectives, algorithms):
@@ -198,24 +217,30 @@ def cmd_sweep(args) -> int:
     error = _check_grid_selection(collectives, args.algorithm)
     if error:
         return _fail(error)
-    cache = ProfileCache(
-        preset,
-        placement=args.placement,
-        seed=args.seed,
-        busy_fraction=args.busy_fraction,
-        disk_dir=args.disk_cache,
-        profile_engine=args.profile_engine,
-    )
-    records = sweep_system(
-        preset,
-        collectives,
-        node_counts=args.nodes,
-        vector_bytes=args.sizes,
-        algorithms=args.algorithm or None,
-        ppn=args.ppn,
-        cache=cache,
-        workers=args.workers,
-    )
+    scenarios = _parse_faults(args) or (FaultSpec(),)
+    records = []
+    for scenario in scenarios:
+        cache = ProfileCache(
+            preset,
+            placement=args.placement,
+            seed=args.seed,
+            busy_fraction=args.busy_fraction,
+            disk_dir=args.disk_cache,
+            profile_engine=args.profile_engine,
+            faults=scenario,
+        )
+        records.extend(
+            sweep_system(
+                preset,
+                collectives,
+                node_counts=args.nodes,
+                vector_bytes=args.sizes,
+                algorithms=args.algorithm or None,
+                ppn=args.ppn,
+                cache=cache,
+                workers=args.workers,
+            )
+        )
     print(
         f"# {args.system}: {len(records)} records "
         f"({len(collectives)} collectives)",
@@ -420,7 +445,7 @@ def cmd_plot(args) -> int:
             return _fail(error)
         result = run_campaign(
             manifest, workers=args.workers, disk_dir=args.disk_cache,
-            profile_engine=args.profile_engine,
+            profile_engine=args.profile_engine, faults=_parse_faults(args),
         )
         records = result.records
         name, source = manifest.name, args.manifest
@@ -460,7 +485,8 @@ def cmd_plot(args) -> int:
 # -- repro compare -----------------------------------------------------------
 
 
-def _resolve_record_set(path_text: str, workers, disk_dir, profile_engine=None):
+def _resolve_record_set(path_text: str, workers, disk_dir, profile_engine=None,
+                        faults=None):
     """A compare operand: records/baseline JSON, or a manifest to rerun.
 
     Returns ``(record_set, manifest_or_None)``; raises ``ManifestError``
@@ -495,7 +521,7 @@ def _resolve_record_set(path_text: str, workers, disk_dir, profile_engine=None):
     )
     result = run_campaign(
         manifest, workers=workers, disk_dir=disk_dir,
-        profile_engine=profile_engine,
+        profile_engine=profile_engine, faults=faults,
     )
     return record_set_from_records(result.records, label=path_text), manifest
 
@@ -521,7 +547,7 @@ def cmd_compare(args) -> int:
         try:
             candidate, manifest = _resolve_record_set(
                 args.candidate, args.workers, args.disk_cache,
-                args.profile_engine,
+                args.profile_engine, _parse_faults(args),
             )
         except (ManifestError, RecordSetError, FileNotFoundError, OSError) as exc:
             return _fail(str(exc))
@@ -537,11 +563,14 @@ def cmd_compare(args) -> int:
         print(f"froze {len(records)} records -> {args.ref}", file=sys.stderr)
         return 0
     try:
+        faults = _parse_faults(args)
         ref, _ = _resolve_record_set(
-            args.ref, args.workers, args.disk_cache, args.profile_engine
+            args.ref, args.workers, args.disk_cache, args.profile_engine,
+            faults,
         )
         candidate, _ = _resolve_record_set(
-            args.candidate, args.workers, args.disk_cache, args.profile_engine
+            args.candidate, args.workers, args.disk_cache, args.profile_engine,
+            faults,
         )
         diff = diff_record_sets(ref, candidate, tolerance=args.tolerance)
     except (ManifestError, RecordSetError, FileNotFoundError, OSError) as exc:
@@ -572,7 +601,7 @@ def cmd_campaign(args) -> int:
         return _fail(str(exc))
     result = run_campaign(
         manifest, workers=args.workers, disk_dir=args.disk_cache,
-        profile_engine=args.profile_engine,
+        profile_engine=args.profile_engine, faults=_parse_faults(args),
     )
     cells = len({r.key for r in result.records})
     print(

@@ -104,9 +104,13 @@ def records_table(records: Sequence[SweepRecord]) -> str:
         >>> records_table([]).splitlines()[0].split()[:2]
         ['collective', 'algorithm']
     """
+    # the faults column only appears when a degraded scenario is present,
+    # so pristine sweeps keep their historical layout
+    degraded = any(r.faults != "none" for r in records)
     hdr = (
         f"{'collective':<15}{'algorithm':<26}{'family':<10}"
         f"{'p':>6}{'size':>9}{'time':>12}{'glob.bytes':>12}"
+        + (f"  {'faults':<24}" if degraded else "")
     )
     lines = [hdr, "-" * len(hdr)]
     for r in records:
@@ -114,6 +118,7 @@ def records_table(records: Sequence[SweepRecord]) -> str:
             f"{r.collective:<15}{r.algorithm:<26}{r.family:<10}"
             f"{r.p:>6}{human_bytes(r.n_bytes):>9}"
             f"{r.time:>12.3e}{r.global_bytes:>12.3e}"
+            + (f"  {r.faults:<24}" if degraded else "")
         )
     return "\n".join(lines)
 

@@ -1,9 +1,13 @@
 """Argument wiring for the ``repro`` CLI.
 
 :func:`main` builds the parser, dispatches to :mod:`repro.cli.commands`,
-and returns a process exit code (0 success, 2 usage/domain error, bench
-runs pass through pytest's code).  Install exposes it as the ``repro``
+and returns a process exit code.  Install exposes it as the ``repro``
 console script; ``python -m repro`` reaches it via :mod:`repro.__main__`.
+
+Exit codes (:data:`EXIT_CODES`): 0 success; 1 drift / verify failure;
+2 usage or domain error; 3 invalid fault spec; 4 partitioned topology;
+5 corrupted profile-cache entry surfaced as an error; 6 worker shard
+failure with fallback disabled.  Bench runs pass through pytest's code.
 
 Example::
 
@@ -14,10 +18,26 @@ Example::
 from __future__ import annotations
 
 import argparse
+import sys
 
 from repro.cli import commands
+from repro.runtime.errors import (
+    CacheCorruptionError,
+    FaultSpecError,
+    TopologyPartitionedError,
+    WorkerShardError,
+)
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "EXIT_CODES"]
+
+#: one distinct nonzero exit code per runtime failure class, so scripted
+#: campaign drivers can tell "bad --faults string" from "fabric cut in two"
+EXIT_CODES: dict[type[Exception], int] = {
+    FaultSpecError: 3,
+    TopologyPartitionedError: 4,
+    CacheCorruptionError: 5,
+    WorkerShardError: 6,
+}
 
 
 def _int_list(text: str) -> tuple[int, ...]:
@@ -57,6 +77,16 @@ def _add_execution_knobs(parser: argparse.ArgumentParser) -> None:
         "tables + CSR routes + grid evaluation, the default) or python "
         "(scalar reference); records are bit-identical either way "
         "(REPRO_PROFILE_ENGINE sets the default when this flag is omitted)",
+    )
+
+
+def _add_faults(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults", action="append", metavar="SPEC", default=None,
+        help="degraded-fabric scenario, e.g. 'links=2,seed=13' or "
+        "'links=1,global=0.5' ('none' for the pristine fabric); repeat "
+        "the flag to run several scenarios in one invocation — overrides "
+        "a manifest's [[faults]] list (see docs/robustness.md)",
     )
 
 
@@ -161,6 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="summary: family whose wins are counted (default: bine)")
     p.add_argument("--baseline", default="binomial",
                    help="summary: family to duel against (default: binomial)")
+    _add_faults(p)
     _add_execution_knobs(p)
     _add_record_format(p)
     _add_output(p)
@@ -240,6 +271,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="restrict the grid to these rank counts")
     p.add_argument("--sizes", type=_int_list, metavar="B1,B2,...",
                    help="restrict the grid to these vector sizes (bytes)")
+    _add_faults(p)
     _add_execution_knobs(p)
     p.set_defaults(func=commands.cmd_plot)
 
@@ -267,6 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
                    default="summary",
                    help="summary: verdict + drifted cells (default); "
                    "table/json/markdown: one row per drifted cell")
+    _add_faults(p)
     _add_execution_knobs(p)
     _add_output(p)
     p.set_defaults(func=commands.cmd_compare)
@@ -280,6 +313,7 @@ def build_parser() -> argparse.ArgumentParser:
         "reproductions).",
     )
     p.add_argument("manifest", help="path to a .toml or .json manifest")
+    _add_faults(p)
     _add_execution_knobs(p)
     _add_record_format(p)
     _add_output(p)
@@ -291,4 +325,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``repro`` / ``python -m repro``; returns exit code."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except tuple(EXIT_CODES) as exc:
+        # single-line diagnostic naming the failure class, then the
+        # class-specific exit code — campaign drivers branch on it
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        for cls, code in EXIT_CODES.items():
+            if isinstance(exc, cls):
+                return code
+        raise AssertionError("unreachable")  # pragma: no cover

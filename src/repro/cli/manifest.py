@@ -37,6 +37,12 @@ Schema (TOML shown; JSON mirrors it)::
     [summary.baseline_overrides]    # optional per-collective baselines
     alltoall = "bruck"
 
+    [[faults]]                      # optional fault scenarios; every grid
+    failed_links = 2                # runs once per scenario, records tagged
+    seed = 13                       # with the scenario label ("none" when
+    [faults.derate]                 # the table is empty = pristine fabric)
+    global = 0.5
+
 Example::
 
     >>> m = manifest_from_dict({
@@ -55,6 +61,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.collectives.registry import COLLECTIVES, families, iter_specs
+from repro.faults import FaultSpec
+from repro.runtime.errors import FaultSpecError
 from repro.systems import ALL_SYSTEMS
 from repro.systems.presets import PAPER_VECTOR_BYTES
 
@@ -117,6 +125,8 @@ class CampaignManifest:
     seed: int = 7
     busy_fraction: float = 0.55
     summary: SummarySpec | None = None
+    #: fault scenarios; every grid runs once per scenario (empty → pristine)
+    faults: tuple[FaultSpec, ...] = ()
 
     def collectives(self) -> tuple[str, ...]:
         """Campaign collectives in first-appearance order across grids."""
@@ -261,7 +271,7 @@ def manifest_from_dict(data: dict) -> CampaignManifest:
         ... }).placement
         'scheduler'
     """
-    _check_keys(data, {"campaign", "grid", "summary"}, "manifest")
+    _check_keys(data, {"campaign", "grid", "summary", "faults"}, "manifest")
     camp = _require(data, "campaign", "manifest")
     _check_keys(
         camp,
@@ -292,6 +302,25 @@ def manifest_from_dict(data: dict) -> CampaignManifest:
         raise ManifestError(
             "[campaign]: torus_dims grids run on the canonical block "
             'mapping; set placement = "block"'
+        )
+    raw_faults = data.get("faults") or []
+    faults: list[FaultSpec] = []
+    for i, entry in enumerate(raw_faults):
+        try:
+            faults.append(FaultSpec.from_dict(entry))
+        except FaultSpecError as exc:
+            raise ManifestError(f"[[faults]] #{i}: {exc}") from None
+    labels = [f.label for f in faults]
+    dupes = sorted({lb for lb in labels if labels.count(lb) > 1})
+    if dupes:
+        raise ManifestError(
+            f"[[faults]]: duplicate scenario label(s) {dupes}; records of "
+            "identical scenarios would collide"
+        )
+    if faults and any(g.torus_dims is not None for g in grids):
+        raise ManifestError(
+            "[[faults]]: fault scenarios do not apply to torus_dims grids "
+            "(a torus has no global links to fail)"
         )
     summary = None
     if "summary" in data:
@@ -330,6 +359,7 @@ def manifest_from_dict(data: dict) -> CampaignManifest:
         seed=int(camp.get("seed", 7)),
         busy_fraction=float(camp.get("busy_fraction", 0.55)),
         summary=summary,
+        faults=tuple(faults),
     )
 
 
@@ -399,6 +429,8 @@ def manifest_to_dict(manifest: CampaignManifest) -> dict:
             "baseline": manifest.summary.baseline,
             "baseline_overrides": dict(manifest.summary.baseline_overrides),
         }
+    if manifest.faults:
+        data["faults"] = [spec.to_dict() for spec in manifest.faults]
     return data
 
 

@@ -1,0 +1,423 @@
+"""Degraded-fabric fault injection (ROADMAP: robustness scenario axis).
+
+The paper argues Bine trees cross fewer global links; that matters most
+when the fabric is *not* pristine.  This module makes "not pristine" a
+first-class, deterministic campaign knob:
+
+* :class:`FaultSpec` — a declarative description of the degradation:
+  how many global links have failed, how many nodes are down, how many
+  nodes lost a NIC, and per-link-class width derates.  Failures are
+  *sampled* deterministically from a seed, so the same spec always
+  degrades a topology identically (across processes, workers, and disk
+  caches), and its :attr:`~FaultSpec.label` keys records and cache
+  entries.
+* :class:`DegradedTopology` — a :class:`~repro.topology.base.Topology`
+  wrapper applying a spec.  Routes that would use a failed global link
+  detour through an intermediate group (non-minimal, one extra global
+  hop); if every detour is blocked the pair is unreachable and
+  :class:`~repro.runtime.errors.TopologyPartitionedError` names it.
+  Width derates scale link widths, which the cost model divides load by.
+
+Both profile engines (:class:`~repro.model.simulator.RouteTable` and the
+CSR :class:`~repro.model.compiled.CompiledRouteTable`) query
+``topo.route(src, dst)`` lazily per node pair, so wrapping the topology
+degrades both identically — records stay bit-identical across engines
+under any spec (asserted in ``tests/test_faults.py``).
+
+Example::
+
+    >>> from repro.topology.dragonfly import Dragonfly
+    >>> spec = FaultSpec.parse("links=2,seed=13")
+    >>> topo = DegradedTopology(Dragonfly(8, 4), spec)
+    >>> len(topo.failed_links)
+    2
+    >>> DegradedTopology(Dragonfly(8, 4), spec).failed_links == topo.failed_links
+    True
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.runtime.errors import FaultSpecError, TopologyPartitionedError
+from repro.topology.base import Link, LinkClass, Topology
+
+__all__ = ["FaultSpec", "DegradedTopology", "NIC_DERATE"]
+
+#: width factor applied to node-adjacent links when one of a node's NICs
+#: is out (half the injection/ejection bundle survives)
+NIC_DERATE = 0.5
+
+_LINK_CLASSES = (
+    LinkClass.LOCAL,
+    LinkClass.GLOBAL,
+    LinkClass.TORUS,
+    LinkClass.INTRA,
+)
+
+#: manifest / to_dict keys of a fault scenario
+FAULT_KEYS = {"seed", "failed_links", "failed_nodes", "nic_outages", "derate"}
+
+
+def _normalize_derate(derate) -> tuple[tuple[str, float], ...]:
+    if isinstance(derate, Mapping):
+        items: Iterable = derate.items()
+    else:
+        items = derate or ()
+    return tuple(sorted((str(c), float(f)) for c, f in items))
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Declarative, seeded description of a degraded fabric.
+
+    ``failed_links`` / ``failed_nodes`` / ``nic_outages`` are *counts*;
+    the concrete victims are sampled from ``seed`` when the spec is
+    applied to a topology (same spec → same victims, always).
+    ``derate`` maps link classes to width factors in ``(0, 1]`` — e.g.
+    ``{"global": 0.5}`` halves every global bundle's capacity.
+
+    Example::
+
+        >>> FaultSpec.parse("links=2,global=0.5,seed=13").label
+        'links2-globalx0.5-seed13'
+        >>> FaultSpec().label
+        'none'
+    """
+
+    seed: int = 0
+    failed_links: int = 0
+    failed_nodes: int = 0
+    nic_outages: int = 0
+    derate: tuple[tuple[str, float], ...] = field(default=())
+
+    def __post_init__(self):
+        object.__setattr__(self, "derate", _normalize_derate(self.derate))
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`FaultSpecError` on an ill-formed spec."""
+        for name in ("seed", "failed_links", "failed_nodes", "nic_outages"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise FaultSpecError(f"fault spec: {name} must be an integer")
+        for name in ("failed_links", "failed_nodes", "nic_outages"):
+            if getattr(self, name) < 0:
+                raise FaultSpecError(f"fault spec: {name} must be >= 0")
+        for cls, factor in self.derate:
+            if cls not in _LINK_CLASSES:
+                raise FaultSpecError(
+                    f"fault spec: unknown link class {cls!r}; "
+                    f"have {list(_LINK_CLASSES)}"
+                )
+            if not 0.0 < factor <= 1.0:
+                raise FaultSpecError(
+                    f"fault spec: derate factor for {cls!r} must be in (0, 1], "
+                    f"got {factor:g}"
+                )
+
+    @property
+    def is_null(self) -> bool:
+        """True when the spec degrades nothing (the pristine fabric)."""
+        return not (
+            self.failed_links or self.failed_nodes or self.nic_outages
+            or self.derate
+        )
+
+    @property
+    def label(self) -> str:
+        """Canonical, filesystem-safe scenario name; ``"none"`` if pristine.
+
+        The label keys :class:`~repro.analysis.sweep.SweepRecord` rows,
+        disk-cache namespaces and report figures, so it must be a pure
+        function of the spec.
+        """
+        if self.is_null:
+            return "none"
+        parts = []
+        if self.failed_links:
+            parts.append(f"links{self.failed_links}")
+        if self.failed_nodes:
+            parts.append(f"nodes{self.failed_nodes}")
+        if self.nic_outages:
+            parts.append(f"nics{self.nic_outages}")
+        parts.extend(f"{cls}x{factor:g}" for cls, factor in self.derate)
+        parts.append(f"seed{self.seed}")
+        return "-".join(parts)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse the compact CLI form: ``links=2,nodes=1,global=0.5,seed=13``.
+
+        Keys ``links`` / ``nodes`` / ``nics`` / ``seed`` take integers;
+        any link-class name (``local`` / ``global`` / ``torus`` /
+        ``intra``) takes a derate factor.  ``"none"`` (or an empty
+        string) is the pristine fabric.
+
+        Example::
+
+            >>> FaultSpec.parse("links=3,seed=7").failed_links
+            3
+        """
+        text = (text or "").strip()
+        if text in ("", "none"):
+            return cls()
+        kwargs: dict = {"derate": {}}
+        for part in text.split(","):
+            if "=" not in part:
+                raise FaultSpecError(
+                    f"fault spec {text!r}: expected key=value, got {part!r}"
+                )
+            key, _, value = part.partition("=")
+            key, value = key.strip(), value.strip()
+            if key in ("links", "nodes", "nics", "seed"):
+                try:
+                    ivalue = int(value)
+                except ValueError:
+                    raise FaultSpecError(
+                        f"fault spec {text!r}: {key} takes an integer, "
+                        f"got {value!r}"
+                    ) from None
+                field_name = {
+                    "links": "failed_links", "nodes": "failed_nodes",
+                    "nics": "nic_outages", "seed": "seed",
+                }[key]
+                kwargs[field_name] = ivalue
+            elif key in _LINK_CLASSES:
+                try:
+                    kwargs["derate"][key] = float(value)
+                except ValueError:
+                    raise FaultSpecError(
+                        f"fault spec {text!r}: derate for {key!r} takes a "
+                        f"number, got {value!r}"
+                    ) from None
+            else:
+                raise FaultSpecError(
+                    f"fault spec {text!r}: unknown key {key!r}; have "
+                    f"links, nodes, nics, seed, and the link classes "
+                    f"{list(_LINK_CLASSES)}"
+                )
+        return cls(**kwargs)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FaultSpec":
+        """Build from a manifest ``[[faults]]`` table (inverse of to_dict)."""
+        unknown = set(data) - FAULT_KEYS
+        if unknown:
+            raise FaultSpecError(
+                f"fault spec: unknown key(s) {sorted(unknown)}; "
+                f"allowed: {sorted(FAULT_KEYS)}"
+            )
+
+        def _int(key):
+            value = data.get(key, 0)
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise FaultSpecError(f"fault spec: {key} must be an integer")
+            return value
+
+        derate = data.get("derate", {})
+        if not isinstance(derate, Mapping):
+            raise FaultSpecError(
+                "fault spec: derate must be a table of link-class factors"
+            )
+        return cls(
+            seed=_int("seed"),
+            failed_links=_int("failed_links"),
+            failed_nodes=_int("failed_nodes"),
+            nic_outages=_int("nic_outages"),
+            derate={str(k): v for k, v in derate.items()},
+        )
+
+    def to_dict(self) -> dict:
+        """Manifest-shaped view (omits defaults; round-trips from_dict)."""
+        out: dict = {}
+        if self.seed:
+            out["seed"] = self.seed
+        if self.failed_links:
+            out["failed_links"] = self.failed_links
+        if self.failed_nodes:
+            out["failed_nodes"] = self.failed_nodes
+        if self.nic_outages:
+            out["nic_outages"] = self.nic_outages
+        if self.derate:
+            out["derate"] = dict(self.derate)
+        return out
+
+
+# -- topology wrapper ---------------------------------------------------------
+
+
+def _group_members(topo: Topology) -> dict[int, list[int]]:
+    members: dict[int, list[int]] = {}
+    for v in range(topo.num_nodes):
+        members.setdefault(topo.group_of(v), []).append(v)
+    return members
+
+
+def _global_link_population(
+    topo: Topology, reps: dict[int, int]
+) -> list[tuple]:
+    """Every global-class link key, found by probing group-pair routes.
+
+    Minimal routing is deterministic, so routing one representative node
+    pair per ordered group pair surfaces every inter-group shared link
+    (Dragonfly ``glob`` bundles, fat-tree ``up``/``down`` uplinks).  A
+    torus has no global-class links: its population is empty and asking
+    to fail links there is a :class:`FaultSpecError`.
+    """
+    keys = set()
+    groups = sorted(reps)
+    for ga in groups:
+        for gb in groups:
+            if ga == gb:
+                continue
+            for link in topo.route(reps[ga], reps[gb]):
+                if link.cls == LinkClass.GLOBAL:
+                    keys.add(link.key)
+    return sorted(keys, key=repr)
+
+
+class DegradedTopology(Topology):
+    """A topology with a :class:`FaultSpec` applied.
+
+    Deterministic by construction: victims are drawn from
+    ``random.Random(spec.seed)`` over canonically ordered populations
+    (global link keys sorted by repr; node ids ascending), so two
+    instances built from the same ``(topology, spec)`` are
+    indistinguishable — including across pickling into sweep workers.
+
+    Routing semantics (see ``docs/robustness.md``):
+
+    * a route whose global link failed detours via the lowest-numbered
+      group whose representative yields a surviving route (one extra
+      global hop); no surviving detour →
+      :class:`TopologyPartitionedError` naming the pair;
+    * routes touching a failed node raise
+      :class:`TopologyPartitionedError` immediately;
+    * a NIC outage multiplies the width of every link adjacent to the
+      node (first/last hops of its routes) by :data:`NIC_DERATE`;
+    * class derates multiply every matching link's width.
+
+    Width scaling is a pure function of the link *key*, so shared links
+    keep one consistent width everywhere they appear — which is what
+    keeps the python and CSR route tables bit-identical.
+    """
+
+    def __init__(self, inner: Topology, spec: FaultSpec):
+        if isinstance(inner, DegradedTopology):
+            raise FaultSpecError("cannot degrade an already-degraded topology")
+        spec.validate()
+        self.inner = inner
+        self.spec = spec
+        rng = random.Random(spec.seed)
+        members = _group_members(inner)
+        reps = {g: nodes[0] for g, nodes in members.items()}
+        population = _global_link_population(inner, reps)
+        if spec.failed_links > len(population):
+            raise FaultSpecError(
+                f"cannot fail {spec.failed_links} global links: {inner!r} "
+                f"has only {len(population)}"
+            )
+        self.failed_links = frozenset(rng.sample(population, spec.failed_links))
+        nodes = list(range(inner.num_nodes))
+        if spec.failed_nodes + spec.nic_outages > len(nodes):
+            raise FaultSpecError(
+                f"cannot fail {spec.failed_nodes} nodes and derate "
+                f"{spec.nic_outages} NICs on {len(nodes)} nodes"
+            )
+        self.failed_nodes = frozenset(rng.sample(nodes, spec.failed_nodes))
+        healthy = [v for v in nodes if v not in self.failed_nodes]
+        self.nic_outages = frozenset(rng.sample(healthy, spec.nic_outages))
+        self._derate = dict(spec.derate)
+        self._members = members
+        # healthy detour representative per group (groups that lost every
+        # node simply offer no detour)
+        self._healthy_reps = {
+            g: next((v for v in ns if v not in self.failed_nodes), None)
+            for g, ns in members.items()
+        }
+        self._nic_keys = self._nic_adjacent_keys()
+
+    def _nic_adjacent_keys(self) -> frozenset:
+        """Link keys derated by NIC outages: first/last hops around the node.
+
+        Probes routes between the node and (a) every node of its own
+        group, (b) one representative of every other group — which
+        covers the node's dedicated access links on all shipped
+        topologies.  Where the adjacent link is a shared bundle
+        (fat-tree uplinks), the derate conservatively applies to the
+        bundle; documented as lower-bound modelling.
+        """
+        keys = set()
+        for v in sorted(self.nic_outages):
+            g = self.inner.group_of(v)
+            peers = list(self._members[g])
+            peers.extend(
+                rep for grp, rep in sorted(self._healthy_reps.items())
+                if grp != g and rep is not None
+            )
+            for w in peers:
+                if w == v:
+                    continue
+                out = self.inner.route(v, w)
+                if out:
+                    keys.add(out[0].key)
+                back = self.inner.route(w, v)
+                if back:
+                    keys.add(back[-1].key)
+        return frozenset(keys)
+
+    # -- Topology interface -------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self.inner.num_nodes
+
+    def group_of(self, node: int) -> int:
+        return self.inner.group_of(node)
+
+    def route(self, src: int, dst: int) -> list[Link]:
+        self._check_node(src)
+        self._check_node(dst)
+        for v in (src, dst):
+            if v in self.failed_nodes:
+                raise TopologyPartitionedError(src, dst, f"node {v} is down")
+        if src == dst:
+            return []
+        base = self.inner.route(src, dst)
+        if not self._blocked(base):
+            return self._shape(base)
+        gs, gd = self.group_of(src), self.group_of(dst)
+        for g in sorted(self._healthy_reps):
+            if g in (gs, gd):
+                continue
+            mid = self._healthy_reps[g]
+            if mid is None or mid in (src, dst):
+                continue
+            detour = self.inner.route(src, mid) + self.inner.route(mid, dst)
+            if not self._blocked(detour):
+                return self._shape(detour)
+        raise TopologyPartitionedError(
+            src, dst, f"{len(self.failed_links)} failed links, no detour"
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    def _blocked(self, links: list[Link]) -> bool:
+        return any(link.key in self.failed_links for link in links)
+
+    def _shape(self, links: list[Link]) -> list[Link]:
+        out = []
+        for link in links:
+            factor = self._derate.get(link.cls, 1.0)
+            if link.key in self._nic_keys:
+                factor *= NIC_DERATE
+            if factor != 1.0:
+                link = Link(link.key, link.cls, link.width * factor)
+            out.append(link)
+        return out
+
+    def __repr__(self) -> str:
+        return f"DegradedTopology({self.inner!r}, {self.spec.label!r})"

@@ -121,8 +121,9 @@ def render_report(
     ``collectives`` restricts/orders the figures; by default every
     collective present in the records gets a heatmap, and all of them
     share one improvement boxplot.  Record sets spanning several system
-    tags (the Fugaku sub-torus campaigns) get one figure set per system,
-    suffixed with the tag.  Returns the written paths (figures first,
+    tags (the Fugaku sub-torus campaigns) or fault scenarios (degraded-
+    fabric campaigns) get one figure set per (system, scenario) pair,
+    suffixed with the tags.  Returns the written paths (figures first,
     then ``index.md`` / ``index.html``).
     """
     out_dir = Path(out_dir)
@@ -132,19 +133,25 @@ def render_report(
         for r in records:
             seen.setdefault(r.collective)
         collectives = tuple(seen)
-    # Figures are rendered per system tag: multi-sub-torus campaigns (e.g.
-    # Fig. 11b's fugaku:4x4x4 and fugaku:8x8, both 64 ranks) would
-    # otherwise merge distinct topologies into one heatmap cell.
-    systems = sorted({r.system for r in records})
+    # Figures are rendered per (system tag, fault scenario): multi-sub-torus
+    # campaigns (e.g. Fig. 11b's fugaku:4x4x4 and fugaku:8x8, both 64
+    # ranks) and degraded-fabric scenarios would otherwise merge distinct
+    # topologies / fabric conditions into one heatmap cell.
+    panes = sorted({(r.system, r.faults) for r in records})
     written: list[Path] = []
     artifacts: list[Artifact] = []
-    for system in systems:
-        if len(systems) == 1:
+    for system, faults in panes:
+        if len(panes) == 1:
             own, suffix, label = list(records), "", name
         else:
-            own = [r for r in records if r.system == system]
-            suffix = "_" + re.sub(r"[^A-Za-z0-9._-]+", "-", system)
-            label = f"{name} [{system}]"
+            own = [
+                r for r in records
+                if r.system == system and r.faults == faults
+            ]
+            tag = system if faults == "none" else f"{system}_{faults}"
+            suffix = "_" + re.sub(r"[^A-Za-z0-9._-]+", "-", tag)
+            label = (f"{name} [{system}]" if faults == "none"
+                     else f"{name} [{system}, faults={faults}]")
         for coll in collectives:
             if not any(r.collective == coll for r in own):
                 continue
@@ -155,7 +162,9 @@ def render_report(
             artifacts.append(
                 Artifact(filename, "heatmap",
                          f"best algorithm per (nodes x size) cell, {coll}"
-                         + (f", {system}" if suffix else ""))
+                         + (f", {system}" if suffix else "")
+                         + (f", faults={faults}"
+                            if suffix and faults != "none" else ""))
             )
         boxplot_name = f"boxplot_improvement{suffix}.svg"
         svg = boxplot_figure(own, collectives,
@@ -165,7 +174,9 @@ def render_report(
         artifacts.append(
             Artifact(boxplot_name, "boxplot",
                      "Bine improvement distribution per collective"
-                     + (f", {system}" if suffix else ""))
+                     + (f", {system}" if suffix else "")
+                     + (f", faults={faults}"
+                        if suffix and faults != "none" else ""))
         )
     written.extend(
         write_index(

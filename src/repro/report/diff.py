@@ -5,8 +5,9 @@ emits, keyed so reruns line up cell for cell:
 
 * **sweep** — a JSON array of :data:`~repro.analysis.sweep.RECORD_FIELDS`
   objects (``repro sweep/campaign --format json``), keyed by
-  ``(system, collective, algorithm, p, n_bytes)`` and compared on
-  ``family`` / ``time`` / ``global_bytes``;
+  ``(system, collective, algorithm, p, n_bytes, faults)`` and compared
+  on ``family`` / ``time`` / ``global_bytes``; rows predating the fault
+  dimension load with ``faults="none"``, so old baselines stay diffable;
 * **verify** — a JSON array of
   :data:`~repro.analysis.verifygrid.VERIFY_FIELDS` objects
   (``repro verify --format json``), keyed by
@@ -49,7 +50,7 @@ __all__ = [
 #: bit-identical, so anything beyond float-noise counts as drift
 DEFAULT_TOLERANCE = 1e-9
 
-_SWEEP_KEY = ("system", "collective", "algorithm", "p", "n_bytes")
+_SWEEP_KEY = ("system", "collective", "algorithm", "p", "n_bytes", "faults")
 _SWEEP_VALUES = ("family", "time", "global_bytes")
 _VERIFY_KEY = ("collective", "algorithm", "p", "n", "seeds", "engine")
 _VERIFY_VALUES = ("status", "detail")
@@ -139,6 +140,11 @@ def _keyed_set(
 
 
 def _sweep_set(rows: Sequence[dict], label: str) -> RecordSet:
+    # baselines frozen before the fault dimension existed lack the
+    # "faults" column — they describe the pristine fabric
+    rows = [
+        row if "faults" in row else {**row, "faults": "none"} for row in rows
+    ]
     return _keyed_set(rows, label, "sweep", _SWEEP_KEY, _SWEEP_VALUES)
 
 
@@ -190,7 +196,8 @@ def record_set_from_json(data, label: str) -> RecordSet:
         if not all(isinstance(r, dict) for r in data):
             raise RecordSetError(f"{label}: record arrays must hold objects")
         keys = set(data[0])
-        if set(RECORD_FIELDS) <= keys:
+        # "faults" is optional on input: pre-fault record files omit it
+        if set(RECORD_FIELDS) - {"faults"} <= keys:
             return _sweep_set(data, label)
         if set(VERIFY_FIELDS) <= keys:
             return _verify_set(data, label)

@@ -1,8 +1,21 @@
-"""Structured errors for the runtime substrate."""
+"""Structured errors for the runtime substrate and campaign execution.
+
+The CLI maps each leaf class to a distinct exit code (see
+``repro.cli.main.EXIT_CODES`` and ``docs/robustness.md``) so scripted
+campaigns can tell *why* a run failed from the code alone.
+"""
 
 from __future__ import annotations
 
-__all__ = ["RuntimeSubstrateError", "ScheduleError", "BufferMismatchError"]
+__all__ = [
+    "RuntimeSubstrateError",
+    "ScheduleError",
+    "BufferMismatchError",
+    "FaultSpecError",
+    "TopologyPartitionedError",
+    "CacheCorruptionError",
+    "WorkerShardError",
+]
 
 
 class RuntimeSubstrateError(Exception):
@@ -15,3 +28,31 @@ class ScheduleError(RuntimeSubstrateError):
 
 class BufferMismatchError(RuntimeSubstrateError):
     """A transfer's source and destination segment sizes disagree."""
+
+
+class FaultSpecError(RuntimeSubstrateError):
+    """A fault specification is invalid or inapplicable to the topology."""
+
+
+class TopologyPartitionedError(RuntimeSubstrateError):
+    """A degraded topology has no surviving route between two nodes.
+
+    Carries the unreachable pair so callers (and the CLI diagnostic) can
+    name it: ``exc.src`` / ``exc.dst``.
+    """
+
+    def __init__(self, src: int, dst: int, detail: str = ""):
+        self.src = src
+        self.dst = dst
+        message = f"no surviving route between nodes {src} and {dst}"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+
+
+class CacheCorruptionError(RuntimeSubstrateError):
+    """An on-disk profile-cache entry is truncated, stale, or unreadable."""
+
+
+class WorkerShardError(RuntimeSubstrateError):
+    """A parallel sweep shard failed even after retries (fallback disabled)."""

@@ -38,12 +38,14 @@ class Link:
     Dragonfly group pair with 16 global links is one :class:`Link` of width
     16 — the cost model divides its load by the width, as adaptive routing
     spreads flows across the bundle (paper Sec. 5.1.1 notes minimal-path
-    accounting is a lower bound for exactly this reason).
+    accounting is a lower bound for exactly this reason).  Width-derated
+    fault scenarios (:mod:`repro.faults`) scale widths by factors in
+    ``(0, 1]``, so widths are not necessarily integral.
     """
 
     key: tuple
     cls: str
-    width: int = 1
+    width: float = 1
 
 
 class Topology(ABC):
