@@ -44,7 +44,10 @@ def geometric_mean(values: Sequence[float]) -> float:
 
 
 def _best_by(records: list[SweepRecord]) -> SweepRecord:
-    return min(records, key=lambda r: r.time)
+    # ties break on the algorithm name so the winner is a pure function of
+    # the record *set*, not its order — decision tables built from shuffled
+    # records must be byte-identical (see repro.tune)
+    return min(records, key=lambda r: (r.time, r.algorithm))
 
 
 def _cells(records: Sequence[SweepRecord]):

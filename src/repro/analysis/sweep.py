@@ -112,6 +112,7 @@ def memo_cache_registry() -> dict[str, tuple]:
     from repro.core import bine_tree as _bine
     from repro.core import negabinary as _nb
     from repro.model import compiled as _compiled
+    from repro.tune import serve as _serve
 
     def lru(fn):
         return (lambda: fn.cache_info().currsize, fn.cache_clear)
@@ -129,6 +130,7 @@ def memo_cache_registry() -> dict[str, tuple]:
         "verify._PLAN_CACHE": table(_verify._PLAN_CACHE),
         "verify._PATTERN_CACHE": table(_verify._PATTERN_CACHE),
         "compiled._TABLE_CACHE": table(_compiled._TABLE_CACHE),
+        "tune.serve._SERVE_CACHE": table(_serve._SERVE_CACHE),
     }
 
 
@@ -180,7 +182,11 @@ RECORD_FIELDS = (
     "time",
     "global_bytes",
     "faults",
+    "ppn",
 )
+
+#: record fields that are optional on input (old record files predate them)
+_OPTIONAL_RECORD_DEFAULTS = {"faults": "none", "ppn": 1}
 
 
 @dataclass(frozen=True)
@@ -192,11 +198,17 @@ class SweepRecord:
     part of the cell identity, so degraded and pristine results of the
     same grid never collide in summaries, heatmaps or baselines.
 
+    ``ppn`` is the ranks-per-node count the cell was mapped with.  Like
+    ``faults`` it is part of the cell identity: the same ``(p, n_bytes)``
+    grid swept at ppn=1 and ppn=2 lands on different node sets and must
+    never collide in summaries, diffs, or decision tables
+    (:mod:`repro.tune` keys its sub-tables on it).
+
     Example::
 
         >>> r = SweepRecord("lumi", "bcast", "bine", "bine", 16, 32, 1e-6, 64.0)
         >>> r.key
-        ('bcast', 16, 32, 'none')
+        ('bcast', 16, 32, 1, 'none')
         >>> SweepRecord.from_dict(r.to_dict()) == r
         True
     """
@@ -210,11 +222,12 @@ class SweepRecord:
     time: float
     global_bytes: float
     faults: str = "none"
+    ppn: int = 1
 
     @property
     def key(self) -> tuple:
         """Cell identity — records sharing a key compete in summaries."""
-        return (self.collective, self.p, self.n_bytes, self.faults)
+        return (self.collective, self.p, self.n_bytes, self.ppn, self.faults)
 
     def to_dict(self) -> dict:
         """Plain-dict view in :data:`RECORD_FIELDS` order, for export."""
@@ -224,11 +237,14 @@ class SweepRecord:
     def from_dict(cls, d: dict) -> "SweepRecord":
         """Rebuild a record from :meth:`to_dict` output (JSON round-trips).
 
-        ``faults`` defaults to ``"none"`` so record files written before
-        the fault axis existed keep loading unchanged.
+        ``faults`` defaults to ``"none"`` and ``ppn`` to ``1`` so record
+        files written before those axes existed keep loading unchanged.
         """
-        values = {f: d[f] for f in RECORD_FIELDS if f != "faults"}
-        values["faults"] = d.get("faults", "none")
+        values = {
+            f: d[f] for f in RECORD_FIELDS if f not in _OPTIONAL_RECORD_DEFAULTS
+        }
+        for f, default in _OPTIONAL_RECORD_DEFAULTS.items():
+            values[f] = d.get(f, default)
         return cls(**values)
 
 
@@ -527,6 +543,7 @@ def _profile_records(
     vector_bytes: Sequence[int],
     params: CostParams,
     faults: str = "none",
+    ppn: int = 1,
 ) -> list[SweepRecord]:
     """Records for one profile across the size grid, on either engine.
 
@@ -555,6 +572,7 @@ def _profile_records(
             time=float(time),
             global_bytes=float(gbytes),
             faults=faults,
+            ppn=ppn,
         )
         for nb, time, gbytes in cells
     ]
@@ -587,7 +605,7 @@ def _evaluate_grid(
             records.extend(
                 _profile_records(
                     profile, cache.engine, preset.name, spec, p,
-                    vector_bytes, params, faults=cache.faults_label,
+                    vector_bytes, params, faults=cache.faults_label, ppn=ppn,
                 )
             )
     return records

@@ -40,6 +40,7 @@ __all__ = [
     "cmd_campaign",
     "cmd_plot",
     "cmd_compare",
+    "cmd_tune",
 ]
 
 
@@ -583,6 +584,156 @@ def cmd_compare(args) -> int:
     }[args.format](diff)
     _emit(text, args.output)
     return 1 if diff.drifted else 0
+
+
+# -- repro tune --------------------------------------------------------------
+
+
+_QUERY_INT_KEYS = ("p", "n_bytes", "ppn")
+
+
+def _parse_tune_query(text: str) -> dict:
+    """``collective=bcast,p=16,n=1024[,system=...,ppn=...,faults=...]``.
+
+    Returns the query dict or raises ``ValueError`` with a usage hint.
+    """
+    query: dict = {"ppn": 1, "faults": "none"}
+    for part in text.split(","):
+        if "=" not in part:
+            raise ValueError(f"query term {part!r} is not key=value")
+        key, _, value = part.partition("=")
+        key = key.strip()
+        key = {"n": "n_bytes", "nodes": "p"}.get(key, key)
+        if key in _QUERY_INT_KEYS:
+            query[key] = int(value)
+        elif key in ("collective", "system", "faults"):
+            query[key] = value.strip()
+        else:
+            raise ValueError(
+                f"unknown query key {key!r} (expected collective, p, "
+                "n/n_bytes, system, ppn, faults)"
+            )
+    missing = [k for k in ("collective", "p", "n_bytes") if k not in query]
+    if missing:
+        raise ValueError(f"query {text!r} is missing {missing}")
+    return query
+
+
+def cmd_tune(args) -> int:
+    """``repro tune`` — compile sweep records into a decision table and query it.
+
+    SOURCE is a campaign manifest (run, then compiled), a sweep-records
+    JSON file (compiled directly), or an existing decision-table JSON
+    (loaded and digest-checked).  ``--output`` writes the canonical
+    artifact bytes; ``--query`` answers selection queries against it.
+    Exit codes: 0 ok, 2 usage/off-grid query, 7 corrupted artifact.
+
+    Example::
+
+        $ repro tune campaigns/table3_lumi.toml -o table.json
+        $ repro tune table.json --query collective=bcast,p=16,n=1024
+    """
+    import json as _json
+
+    from repro.report.diff import RecordSetError, record_set_from_json
+    from repro.runtime.errors import TuneQueryError
+    from repro.tune import (
+        DecisionTable,
+        build_decision_table,
+        lookup,
+    )
+
+    path = Path(args.source)
+    table = None
+    manifest = data = None
+    if path.suffix == ".json":
+        try:
+            data = _json.loads(path.read_text())
+        except (OSError, _json.JSONDecodeError) as exc:
+            return _fail(f"{args.source}: cannot read ({exc})")
+    if isinstance(data, dict) and data.get("schema") == "repro/decision-table":
+        # TuneArtifactError (bad digest/schema) propagates to exit code 7
+        table = DecisionTable.from_dict(data, label=args.source)
+        if args.collective or args.nodes or args.sizes:
+            return _fail(
+                "--collective/--nodes/--sizes restrict a manifest run; "
+                f"{args.source!r} is already a compiled table"
+            )
+    else:
+        if data is not None and not (
+            isinstance(data, dict) and isinstance(data.get("campaign"), dict)
+            and "grid" in data
+        ):
+            # sweep-records JSON (or a frozen baseline wrapping one)
+            try:
+                record_set = record_set_from_json(data, args.source)
+            except RecordSetError as exc:
+                return _fail(str(exc))
+            if record_set.kind != "sweep":
+                return _fail(
+                    f"{args.source}: tune compiles sweep records, got "
+                    f"{record_set.kind!r}"
+                )
+            records = record_set.to_records()
+            name = args.name or path.stem
+        else:
+            try:
+                manifest = load_manifest(path)
+            except (ManifestError, FileNotFoundError) as exc:
+                return _fail(str(exc))
+            manifest, error = _restrict_manifest(
+                manifest, args.collective, args.nodes, args.sizes
+            )
+            if error:
+                return _fail(error)
+            result = run_campaign(
+                manifest, workers=args.workers, disk_dir=args.disk_cache,
+                profile_engine=args.profile_engine, faults=_parse_faults(args),
+            )
+            records = result.records
+            name = args.name or manifest.name
+        if not records:
+            return _fail("no records to compile into a decision table")
+        table = build_decision_table(records, name=name, source=args.source)
+    print(
+        f"# tune {table.name!r}: {table.record_count} records -> "
+        f"{len(table.tables)} sub-tables, {table.cells} cells",
+        file=sys.stderr,
+    )
+    if args.output:
+        # raw to_json bytes, not _emit: the artifact contract is
+        # byte-deterministic and golden tests compare files exactly
+        Path(args.output).write_text(table.to_json())
+        print(f"wrote {args.output}")
+    answers = []
+    default_system = (
+        table.tables[0].system if len({t.system for t in table.tables}) == 1
+        else None
+    )
+    for text in args.query or ():
+        try:
+            query = _parse_tune_query(text)
+        except ValueError as exc:
+            return _fail(str(exc))
+        system = query.get("system", default_system)
+        if system is None:
+            return _fail(
+                f"query {text!r} needs system=... (the table spans "
+                f"{sorted({t.system for t in table.tables})})"
+            )
+        try:
+            sel = lookup(
+                table, query["collective"], system, query["p"], query["ppn"],
+                query["n_bytes"], faults=query["faults"], policy=args.policy,
+            )
+        except TuneQueryError as exc:
+            return _fail(str(exc))
+        answers.append((query, sel))
+    if answers:
+        print(fmt.tune_selections_text(answers))
+    elif not args.output:
+        _emit(fmt.tune_table_text(table), None)
+    return 0
 
 
 # -- repro campaign ----------------------------------------------------------

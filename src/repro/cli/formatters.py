@@ -11,7 +11,7 @@ Example::
     >>> from repro.analysis.sweep import SweepRecord
     >>> r = SweepRecord("lumi", "bcast", "bine", "bine", 16, 32, 1e-6, 64.0)
     >>> print(records_csv([r]).splitlines()[0])
-    system,collective,algorithm,family,p,n_bytes,time,global_bytes
+    system,collective,algorithm,family,p,n_bytes,time,global_bytes,faults,ppn
 """
 
 from __future__ import annotations
@@ -45,6 +45,8 @@ __all__ = [
     "diff_records_table",
     "diff_records_json",
     "diff_records_markdown",
+    "tune_table_text",
+    "tune_selections_text",
     "schedule_report",
     "algorithms_text",
     "algorithms_markdown",
@@ -266,6 +268,48 @@ def diff_records_json(diff: _diff.RecordSetDiff) -> str:
 def diff_records_markdown(diff: _diff.RecordSetDiff) -> str:
     """The diff as a GitHub-flavoured Markdown table."""
     return _diff.diff_markdown(diff)
+
+
+# -- decision tables ---------------------------------------------------------
+
+
+def tune_table_text(table) -> str:
+    """Digest of a decision-table artifact: provenance plus one line per
+    ``(system, faults, collective, ppn)`` sub-table."""
+    lines = [
+        f"decision table {table.name!r} ({table.source})",
+        f"records: {table.record_count} (digest {table.records_digest}), "
+        f"{len(table.tables)} sub-tables, {table.cells} cells",
+    ]
+    for sub in table.tables:
+        algos = sorted({w for row in sub.winner for w in row if w is not None})
+        lines.append(
+            f"  {sub.system}/{sub.faults}/{sub.collective}/ppn={sub.ppn}: "
+            f"{len(sub.p_grid)}x{len(sub.n_grid)} grid "
+            f"(p {sub.p_grid[0]}..{sub.p_grid[-1]}, "
+            f"n {human_bytes(sub.n_grid[0])}..{human_bytes(sub.n_grid[-1])}), "
+            f"winners: {', '.join(algos) if algos else 'none'}"
+        )
+    return "\n".join(lines)
+
+
+def tune_selections_text(answers: Sequence[tuple[dict, object]]) -> str:
+    """``--query`` answers, one aligned line per query."""
+    lines = []
+    for query, sel in answers:
+        q = (
+            f"{query['collective']} p={query['p']} "
+            f"n={human_bytes(query['n_bytes'])}"
+        )
+        if sel is None:
+            lines.append(f"{q:<40} -> refused (off-grid)")
+            continue
+        cell = "" if sel.exact else (
+            f"  [nearest cell p={sel.p} n={human_bytes(sel.n_bytes)}]"
+        )
+        margin = f" margin {sel.margin:.3f}x" if sel.margin is not None else ""
+        lines.append(f"{q:<40} -> {sel.algorithm} ({sel.family}){margin}{cell}")
+    return "\n".join(lines)
 
 
 # -- schedules ---------------------------------------------------------------

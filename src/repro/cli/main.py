@@ -7,7 +7,8 @@ console script; ``python -m repro`` reaches it via :mod:`repro.__main__`.
 Exit codes (:data:`EXIT_CODES`): 0 success; 1 drift / verify failure;
 2 usage or domain error; 3 invalid fault spec; 4 partitioned topology;
 5 corrupted profile-cache entry surfaced as an error; 6 worker shard
-failure with fallback disabled.  Bench runs pass through pytest's code.
+failure with fallback disabled; 7 corrupted or mismatched decision-table
+artifact.  Bench runs pass through pytest's code.
 
 Example::
 
@@ -25,6 +26,7 @@ from repro.runtime.errors import (
     CacheCorruptionError,
     FaultSpecError,
     TopologyPartitionedError,
+    TuneArtifactError,
     WorkerShardError,
 )
 
@@ -37,6 +39,7 @@ EXIT_CODES: dict[type[Exception], int] = {
     TopologyPartitionedError: 4,
     CacheCorruptionError: 5,
     WorkerShardError: 6,
+    TuneArtifactError: 7,
 }
 
 
@@ -303,6 +306,43 @@ def build_parser() -> argparse.ArgumentParser:
     _add_execution_knobs(p)
     _add_output(p)
     p.set_defaults(func=commands.cmd_compare)
+
+    # tune
+    p = sub.add_parser(
+        "tune",
+        help="compile sweep records into a decision-table artifact and query it",
+        description="Build the algorithm-selection oracle: run (or load) "
+        "sweep records and freeze the per-(system, faults, collective, ppn) "
+        "winner grids into a versioned, digest-sealed JSON artifact, then "
+        "answer selection queries against it (see docs/tuning.md).  SOURCE "
+        "is a campaign manifest (rerun), a sweep-records JSON, or an "
+        "existing decision-table JSON.  Exit code 7 marks a corrupted or "
+        "mismatched artifact.",
+    )
+    p.add_argument("source",
+                   help="manifest (.toml/.json), sweep-records JSON, or "
+                   "decision-table JSON")
+    p.add_argument("--name", metavar="NAME",
+                   help="table name stamped into the artifact "
+                   "(default: manifest/file name)")
+    p.add_argument("--collective", action="append", metavar="NAME",
+                   help="restrict a manifest run to these collectives "
+                   "(repeatable)")
+    p.add_argument("--nodes", type=_int_list, metavar="P1,P2,...",
+                   help="restrict a manifest run to these rank counts")
+    p.add_argument("--sizes", type=_int_list, metavar="B1,B2,...",
+                   help="restrict a manifest run to these vector sizes (bytes)")
+    p.add_argument("--query", action="append", metavar="Q",
+                   help="selection query 'collective=bcast,p=16,n=1024"
+                   "[,system=...,ppn=...,faults=...]' (repeatable)")
+    p.add_argument("--policy", choices=("exact", "nearest", "refuse"),
+                   default="exact",
+                   help="off-grid query policy: exact errors, nearest snaps "
+                   "in log2 space, refuse answers None (default: exact)")
+    _add_faults(p)
+    _add_execution_knobs(p)
+    _add_output(p)
+    p.set_defaults(func=commands.cmd_tune)
 
     # campaign
     p = sub.add_parser(

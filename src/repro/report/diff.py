@@ -5,9 +5,15 @@ emits, keyed so reruns line up cell for cell:
 
 * **sweep** — a JSON array of :data:`~repro.analysis.sweep.RECORD_FIELDS`
   objects (``repro sweep/campaign --format json``), keyed by
-  ``(system, collective, algorithm, p, n_bytes, faults)`` and compared
-  on ``family`` / ``time`` / ``global_bytes``; rows predating the fault
-  dimension load with ``faults="none"``, so old baselines stay diffable;
+  ``(system, collective, algorithm, p, n_bytes, faults, ppn)`` and
+  compared on ``family`` / ``time`` / ``global_bytes``; rows predating
+  the fault or ppn dimensions load with ``faults="none"`` / ``ppn=1``,
+  so old baselines stay diffable;
+* **tune** — a ``repro/decision-table`` artifact (``repro tune``),
+  exploded to one row per populated grid cell, keyed by
+  ``(system, faults, collective, ppn, p, n_bytes)`` and compared on
+  ``winner`` / ``family`` / ``margin`` — ``repro compare a.json b.json``
+  on two tables reports exactly which cells changed winners;
 * **verify** — a JSON array of
   :data:`~repro.analysis.verifygrid.VERIFY_FIELDS` objects
   (``repro verify --format json``), keyed by
@@ -50,15 +56,20 @@ __all__ = [
 #: bit-identical, so anything beyond float-noise counts as drift
 DEFAULT_TOLERANCE = 1e-9
 
-_SWEEP_KEY = ("system", "collective", "algorithm", "p", "n_bytes", "faults")
+_SWEEP_KEY = ("system", "collective", "algorithm", "p", "n_bytes", "faults", "ppn")
 _SWEEP_VALUES = ("family", "time", "global_bytes")
+#: sweep key fields that old record files may omit, with their defaults
+_SWEEP_KEY_DEFAULTS = {"faults": "none", "ppn": 1}
 _VERIFY_KEY = ("collective", "algorithm", "p", "n", "seeds", "engine")
 _VERIFY_VALUES = ("status", "detail")
+_TUNE_KEY = ("system", "faults", "collective", "ppn", "p", "n_bytes")
+_TUNE_VALUES = ("winner", "family", "margin")
 
 #: key/value field split per record-set kind
 KIND_FIELDS = {
     "sweep": (_SWEEP_KEY, _SWEEP_VALUES),
     "verify": (_VERIFY_KEY, _VERIFY_VALUES),
+    "tune": (_TUNE_KEY, _TUNE_VALUES),
     "metrics": (("metric",), ("value",)),
 }
 
@@ -140,16 +151,47 @@ def _keyed_set(
 
 
 def _sweep_set(rows: Sequence[dict], label: str) -> RecordSet:
-    # baselines frozen before the fault dimension existed lack the
-    # "faults" column — they describe the pristine fabric
+    # baselines frozen before the fault/ppn dimensions existed lack those
+    # columns — they describe the pristine fabric at one rank per node
     rows = [
-        row if "faults" in row else {**row, "faults": "none"} for row in rows
+        {**_SWEEP_KEY_DEFAULTS, **row} for row in rows
     ]
     return _keyed_set(rows, label, "sweep", _SWEEP_KEY, _SWEEP_VALUES)
 
 
 def _verify_set(rows: Sequence[dict], label: str) -> RecordSet:
     return _keyed_set(rows, label, "verify", _VERIFY_KEY, _VERIFY_VALUES)
+
+
+def _tune_set(data: Mapping, label: str) -> RecordSet:
+    """A decision-table artifact, one row per populated grid cell.
+
+    Validation (schema, version, integrity digest) happens in
+    :class:`~repro.tune.tables.DecisionTable`; a corrupted table raises
+    :class:`~repro.runtime.errors.TuneArtifactError`, which the CLI maps
+    to its own exit code rather than a generic usage error.
+    """
+    from repro.tune.tables import DecisionTable  # lazy: avoids import cycle
+
+    table = DecisionTable.from_dict(data, label=label)
+    rows = []
+    for sub in table.tables:
+        for i, p in enumerate(sub.p_grid):
+            for j, nb in enumerate(sub.n_grid):
+                if sub.winner[i][j] is None:
+                    continue
+                rows.append({
+                    "system": sub.system,
+                    "faults": sub.faults,
+                    "collective": sub.collective,
+                    "ppn": sub.ppn,
+                    "p": p,
+                    "n_bytes": nb,
+                    "winner": sub.winner[i][j],
+                    "family": sub.family[i][j],
+                    "margin": sub.margin[i][j],
+                })
+    return _keyed_set(rows, label, "tune", _TUNE_KEY, _TUNE_VALUES)
 
 
 def _flatten(data, prefix: str, out: dict) -> None:
@@ -196,8 +238,8 @@ def record_set_from_json(data, label: str) -> RecordSet:
         if not all(isinstance(r, dict) for r in data):
             raise RecordSetError(f"{label}: record arrays must hold objects")
         keys = set(data[0])
-        # "faults" is optional on input: pre-fault record files omit it
-        if set(RECORD_FIELDS) - {"faults"} <= keys:
+        # "faults"/"ppn" are optional on input: older record files omit them
+        if set(RECORD_FIELDS) - set(_SWEEP_KEY_DEFAULTS) <= keys:
             return _sweep_set(data, label)
         if set(VERIFY_FIELDS) <= keys:
             return _verify_set(data, label)
@@ -206,6 +248,8 @@ def record_set_from_json(data, label: str) -> RecordSet:
             f"{RECORD_FIELDS} nor verify fields {VERIFY_FIELDS}"
         )
     if isinstance(data, dict):
+        if data.get("schema") == "repro/decision-table":
+            return _tune_set(data, label)
         return _metrics_set(data, label)
     raise RecordSetError(f"{label}: top-level JSON must be an array or object")
 
@@ -350,6 +394,13 @@ def diff_summary(diff: RecordSetDiff, max_cells: int = 20) -> str:
         f"{len(diff.added)} added, {len(diff.removed)} removed; "
         f"rel tolerance {diff.tolerance:g})",
     ]
+    if diff.a.rows and diff.b.rows and not (diff.unchanged or diff.changed):
+        # every key is added or removed: nothing aligned, which usually
+        # means the operands describe different grids entirely
+        lines.append(
+            "  note: the record sets share no cells — every key on one "
+            "side is absent from the other (unrelated grids?)"
+        )
     shown = 0
     for change in diff.changed:
         if shown == max_cells:

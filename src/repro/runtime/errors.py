@@ -15,6 +15,8 @@ __all__ = [
     "TopologyPartitionedError",
     "CacheCorruptionError",
     "WorkerShardError",
+    "TuneArtifactError",
+    "TuneQueryError",
 ]
 
 
@@ -56,3 +58,23 @@ class CacheCorruptionError(RuntimeSubstrateError):
 
 class WorkerShardError(RuntimeSubstrateError):
     """A parallel sweep shard failed even after retries (fallback disabled)."""
+
+
+class TuneArtifactError(RuntimeSubstrateError):
+    """A decision-table artifact is structurally unsound or fails its digest.
+
+    Raised when loading a table whose schema/version is unknown, whose
+    payload does not match its embedded integrity digest (a hand-edited
+    or corrupted file), or whose provenance digest does not match the
+    records it claims to be built from.  Serving layers must never answer
+    queries from such a table.
+    """
+
+
+class TuneQueryError(RuntimeSubstrateError):
+    """A selection query cannot be answered by the loaded decision table.
+
+    Covers unknown ``(collective, system, ppn, faults)`` sub-tables and
+    off-grid ``(p, n_bytes)`` coordinates under the ``exact`` policy (the
+    ``refuse`` policy returns ``None`` instead of raising; ``nearest``
+    snaps to the closest populated grid cell)."""

@@ -1,0 +1,39 @@
+"""Algorithm-selection oracle: decision-table build + vectorized serving.
+
+``repro tune`` compiles campaign sweep records into a versioned,
+digest-sealed decision-table artifact (:mod:`repro.tune.tables`); the
+serving API (:mod:`repro.tune.serve`) answers "which algorithm for
+``(collective, system, p, ppn, n_bytes)``" queries from it — scalar or
+vectorized, with explicit ``exact | nearest | refuse`` off-grid
+policies.  See ``docs/tuning.md`` for the artifact and policy contract.
+"""
+
+from repro.tune.serve import (
+    POLICIES,
+    Selection,
+    load_table,
+    lookup,
+    select_algorithm,
+    select_algorithms,
+)
+from repro.tune.tables import (
+    SCHEMA,
+    SCHEMA_VERSION,
+    DecisionTable,
+    SubTable,
+    build_decision_table,
+)
+
+__all__ = [
+    "SCHEMA",
+    "SCHEMA_VERSION",
+    "DecisionTable",
+    "SubTable",
+    "build_decision_table",
+    "POLICIES",
+    "Selection",
+    "load_table",
+    "lookup",
+    "select_algorithm",
+    "select_algorithms",
+]

@@ -1,0 +1,125 @@
+"""Seeded, stdlib-only generators for property/metamorphic tests.
+
+A miniature hypothesis-style toolkit: every generator takes an explicit
+``random.Random`` (or a seed) so failures reproduce exactly, and builds
+plausible *sweep-record grids* — the input domain shared by the tune,
+summarize, report and diff layers.  Used by ``tests/test_tune_properties.py``
+and available to any test that wants randomized-but-deterministic record
+sets.
+
+No third-party dependency: the point is metamorphic coverage (build is
+order-invariant, batch == scalar loop, winner == argmin), not shrinking.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.analysis.sweep import SweepRecord
+
+#: plausible algorithm inventory per family, mirroring the registry's shape
+FAMILIES = {
+    "bine": ("bine", "bine-rsag", "bine-scatter-allgather"),
+    "binomial": ("binomial", "binomial-scatter-allgather"),
+    "ring": ("ring",),
+    "bruck": ("bruck",),
+}
+
+SYSTEMS = ("lumi", "leonardo", "fugaku")
+COLLECTIVES = ("bcast", "allgather", "allreduce", "alltoall")
+FAULT_LABELS = ("none", "links2-seed13", "links1-global0.5")
+
+
+def rng_for(seed: int) -> random.Random:
+    """A fresh deterministic stream; use one per test for isolation."""
+    return random.Random(seed)
+
+
+def grid_axes(rng: random.Random) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """A sorted (p_grid, n_grid) pair of power-of-two axes."""
+    p_count = rng.randint(1, 4)
+    n_count = rng.randint(1, 4)
+    p_grid = sorted(rng.sample([2 ** k for k in range(2, 11)], p_count))
+    n_grid = sorted(rng.sample([32 * 8 ** k for k in range(7)], n_count))
+    return tuple(p_grid), tuple(n_grid)
+
+
+def record_grid(
+    rng: random.Random,
+    *,
+    systems: Sequence[str] = ("lumi",),
+    collectives: Sequence[str] = ("bcast",),
+    faults: Sequence[str] = ("none",),
+    ppns: Sequence[int] = (1,),
+    tie_fraction: float = 0.0,
+) -> list[SweepRecord]:
+    """A full cross-product record grid with randomized times.
+
+    Every ``(system, faults, collective, ppn, p, n)`` cell gets one record
+    per algorithm of 2–4 randomly chosen families, so cells always have a
+    well-defined argmin winner.  ``tie_fraction`` forces that share of
+    cells to contain two records with *exactly equal* best times — the
+    adversarial case for order-invariance (the tie must break on the
+    algorithm name, not on input order).
+    """
+    p_grid, n_grid = grid_axes(rng)
+    fams = rng.sample(sorted(FAMILIES), rng.randint(2, len(FAMILIES)))
+    records = []
+    for system in systems:
+        for fault in faults:
+            for coll in collectives:
+                for ppn in ppns:
+                    for p in p_grid:
+                        for nb in n_grid:
+                            cell = []
+                            for fam in fams:
+                                for algo in FAMILIES[fam]:
+                                    t = rng.uniform(1e-6, 1e-2)
+                                    cell.append(SweepRecord(
+                                        system, coll, algo, fam, p, nb,
+                                        t, float(nb * p // 2),
+                                        faults=fault, ppn=ppn,
+                                    ))
+                            if len(cell) >= 2 and rng.random() < tie_fraction:
+                                best = min(cell, key=lambda r: r.time)
+                                other = rng.choice(
+                                    [r for r in cell if r is not best]
+                                )
+                                cell[cell.index(other)] = SweepRecord(
+                                    other.system, other.collective,
+                                    other.algorithm, other.family,
+                                    other.p, other.n_bytes, best.time,
+                                    other.global_bytes,
+                                    faults=other.faults, ppn=other.ppn,
+                                )
+                            records.extend(cell)
+    return records
+
+
+def shuffled(records: Sequence[SweepRecord], rng: random.Random) -> list[SweepRecord]:
+    """An independently shuffled copy (the metamorphic transform)."""
+    out = list(records)
+    rng.shuffle(out)
+    return out
+
+
+def queries_for(
+    records: Sequence[SweepRecord], rng: random.Random, count: int,
+    *, off_grid: bool = False,
+) -> list[tuple[int, int]]:
+    """``count`` (p, n_bytes) query points drawn from the records' grid.
+
+    With ``off_grid`` the points are perturbed off the grid values, which
+    only the ``nearest``/``refuse`` policies can answer.
+    """
+    ps = sorted({r.p for r in records})
+    ns = sorted({r.n_bytes for r in records})
+    out = []
+    for _ in range(count):
+        p, nb = rng.choice(ps), rng.choice(ns)
+        if off_grid:
+            p = max(1, p + rng.choice((-1, 1)) * rng.randint(1, max(1, p // 3)))
+            nb = max(1, nb + rng.choice((-1, 1)) * rng.randint(1, max(1, nb // 3)))
+        out.append((p, nb))
+    return out

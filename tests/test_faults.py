@@ -188,14 +188,20 @@ class TestFaultedSweeps:
             for a, b in zip(pristine, faulted)
         )
 
-    def test_engines_bit_identical_under_faults(self):
+    @pytest.mark.parametrize("ppn", [1, 2])
+    def test_engines_bit_identical_under_faults(self, ppn):
+        # detour rerouting must agree between engines at every ranks-per-
+        # node factor, and the records must carry the ppn they swept
         compiled = sweep_system(
-            lumi(), faults=SPEC, profile_engine="compiled", **SWEEP_KWARGS
+            lumi(), faults=SPEC, profile_engine="compiled", ppn=ppn,
+            **SWEEP_KWARGS
         )
         python = sweep_system(
-            lumi(), faults=SPEC, profile_engine="python", **SWEEP_KWARGS
+            lumi(), faults=SPEC, profile_engine="python", ppn=ppn,
+            **SWEEP_KWARGS
         )
         assert compiled == python
+        assert {r.ppn for r in compiled} == {ppn}
 
     def test_parallel_identical_to_serial_under_faults(self):
         serial = sweep_system(lumi(), faults=SPEC, **SWEEP_KWARGS)
@@ -232,6 +238,38 @@ class TestFaultedSweeps:
         with pytest.raises(ValueError, match="already degraded"):
             ProfileCache(preset, faults=FaultSpec(seed=99, failed_links=1))
         assert ProfileCache(preset).faults == SPEC
+
+
+class TestSelectionUnderFaults:
+    def test_faults_label_keys_distinct_tables(self):
+        from repro.runtime.errors import TuneQueryError
+        from repro.tune import build_decision_table, select_algorithm
+
+        kwargs = dict(collectives=("bcast",), node_counts=(16,),
+                      vector_bytes=(1024,))
+        records = (
+            sweep_system(lumi(), **kwargs)
+            + sweep_system(lumi(), faults=SPEC, **kwargs)
+        )
+        table = build_decision_table(records, name="t", source="test")
+        assert {sub.faults for sub in table.tables} == {"none", SPEC.label}
+        pristine = select_algorithm(table, "bcast", "lumi", 16, 1, 1024)
+        degraded = select_algorithm(
+            table, "bcast", "lumi", 16, 1, 1024, faults=SPEC.label
+        )
+        # both sub-tables answer; each from its own scenario's records
+        best = {}
+        for scenario in ("none", SPEC.label):
+            own = [r for r in records if r.faults == scenario]
+            best[scenario] = min(
+                own, key=lambda r: (r.time, r.algorithm)
+            ).algorithm
+        assert pristine == best["none"]
+        assert degraded == best[SPEC.label]
+        with pytest.raises(TuneQueryError, match="no sub-table"):
+            select_algorithm(
+                table, "bcast", "lumi", 16, 1, 1024, faults="links9-seed9"
+            )
 
 
 class TestRecordCompat:

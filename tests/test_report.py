@@ -287,6 +287,44 @@ class TestDiff:
         assert diff.changed[0].fields[0].field == "family"
         assert diff.changed[0].fields[0].rel is None  # non-numeric: exact
 
+    def test_disjoint_key_sets_surface_in_summary(self, tmp_path, capsys):
+        # regression: two BENCH-style metric blobs with no keys in common
+        # must surface every added/removed key in the summary — and say
+        # outright that nothing aligned, instead of a quiet "0 changed"
+        from repro.report.diff import diff_summary
+
+        ref = tmp_path / "BENCH_old.json"
+        cand = tmp_path / "BENCH_new.json"
+        ref.write_text(json.dumps({"sweep_cold_s": 1.5, "sweep_warm_s": 0.2}))
+        cand.write_text(json.dumps({"verify_cold_s": 3.0, "verify_warm_s": 0.4}))
+        a = load_record_set(ref)
+        b = load_record_set(cand)
+        diff = diff_record_sets(a, b)
+        assert diff.drifted
+        assert len(diff.added) == 2 and len(diff.removed) == 2
+        summary = diff_summary(diff)
+        assert "2 added, 2 removed" in summary
+        for key in ("sweep_cold_s", "sweep_warm_s", "verify_cold_s",
+                    "verify_warm_s"):
+            assert key in summary
+        assert "share no cells" in summary
+        # end to end through the CLI: exit 1 and the note on stdout
+        from repro.cli.main import main
+
+        assert main(["compare", str(ref), str(cand)]) == 1
+        out = capsys.readouterr().out
+        assert "share no cells" in out and "added verify_cold_s" in out
+
+    def test_partial_overlap_has_no_disjoint_note(self):
+        from repro.report.diff import diff_summary
+
+        records = synthetic_records()
+        diff = diff_record_sets(
+            record_set_from_records(records[:-1], "a"),
+            record_set_from_records(records[1:], "b"),
+        )
+        assert "share no cells" not in diff_summary(diff)
+
     def test_kind_mismatch_rejected(self):
         a, _ = self.sets()
         metrics = load_record_set(REPO_ROOT / "BENCH_sweep.json")
