@@ -45,6 +45,13 @@ throughput, never records.
 :class:`~repro.faults.DegradedTopology`; the spec's label lands in every
 record (and the disk-cache namespace), so per-scenario results never
 collide with pristine ones.
+
+A spec with a :class:`~repro.faults.FaultTimeline` additionally requires
+``profile_engine="des"``: the discrete-event engine (:mod:`repro.des`)
+replays the timeline's mid-run failures/heals while executing the
+lowered transfer program, and its records carry the timeline label plus
+a ``stalled`` flag.  With an empty timeline the DES engine reproduces
+the analytic engines bit for bit (the calibration contract).
 """
 
 from __future__ import annotations
@@ -79,7 +86,11 @@ from repro.model.simulator import (
     profile_schedule,
 )
 from repro.faults import DegradedTopology, FaultSpec
-from repro.runtime.errors import CacheCorruptionError, WorkerShardError
+from repro.runtime.errors import (
+    CacheCorruptionError,
+    DESEngineError,
+    WorkerShardError,
+)
 from repro.runtime.schedule import schedule_validation
 from repro.systems.presets import SystemPreset
 from repro.topology.allocation import AllocationSampler, SystemShape
@@ -111,6 +122,7 @@ def memo_cache_registry() -> dict[str, tuple]:
     from repro.collectives import verify as _verify
     from repro.core import bine_tree as _bine
     from repro.core import negabinary as _nb
+    from repro.des import records as _des_records
     from repro.model import compiled as _compiled
     from repro.tune import serve as _serve
 
@@ -131,6 +143,7 @@ def memo_cache_registry() -> dict[str, tuple]:
         "verify._PATTERN_CACHE": table(_verify._PATTERN_CACHE),
         "compiled._TABLE_CACHE": table(_compiled._TABLE_CACHE),
         "tune.serve._SERVE_CACHE": table(_serve._SERVE_CACHE),
+        "des.records._SIM_CACHE": table(_des_records._SIM_CACHE),
     }
 
 
@@ -170,6 +183,10 @@ _CACHE_LEN_BYTES = 8
 #: sentinel distinguishing "not on disk" from a cached ``None`` (skipped combo)
 _MISS = object()
 
+#: corrupt disk-cache files already warned about this process (satellite of
+#: the recovery path: recompute every time, warn once per file)
+_CORRUPT_WARNED: set[str] = set()
+
 
 #: column order shared by every machine-readable export (JSON, CSV, Markdown)
 RECORD_FIELDS = (
@@ -183,10 +200,17 @@ RECORD_FIELDS = (
     "global_bytes",
     "faults",
     "ppn",
+    "timeline",
+    "stalled",
 )
 
 #: record fields that are optional on input (old record files predate them)
-_OPTIONAL_RECORD_DEFAULTS = {"faults": "none", "ppn": 1}
+_OPTIONAL_RECORD_DEFAULTS = {
+    "faults": "none",
+    "ppn": 1,
+    "timeline": "none",
+    "stalled": False,
+}
 
 
 @dataclass(frozen=True)
@@ -204,11 +228,18 @@ class SweepRecord:
     never collide in summaries, diffs, or decision tables
     (:mod:`repro.tune` keys its sub-tables on it).
 
+    ``timeline`` is the :attr:`repro.faults.FaultTimeline.label` the cell
+    was simulated under (``"none"`` except on the DES engine) — part of
+    the cell identity for the same reason ``faults`` is.  ``stalled``
+    flags cells where at least one flow lost every route mid-run; it is a
+    *measurement*, not identity, and stalled times are lower bounds (the
+    run completed without the stalled flows' data movement).
+
     Example::
 
         >>> r = SweepRecord("lumi", "bcast", "bine", "bine", 16, 32, 1e-6, 64.0)
         >>> r.key
-        ('bcast', 16, 32, 1, 'none')
+        ('bcast', 16, 32, 1, 'none', 'none')
         >>> SweepRecord.from_dict(r.to_dict()) == r
         True
     """
@@ -223,11 +254,16 @@ class SweepRecord:
     global_bytes: float
     faults: str = "none"
     ppn: int = 1
+    timeline: str = "none"
+    stalled: bool = False
 
     @property
     def key(self) -> tuple:
         """Cell identity — records sharing a key compete in summaries."""
-        return (self.collective, self.p, self.n_bytes, self.ppn, self.faults)
+        return (
+            self.collective, self.p, self.n_bytes, self.ppn,
+            self.faults, self.timeline,
+        )
 
     def to_dict(self) -> dict:
         """Plain-dict view in :data:`RECORD_FIELDS` order, for export."""
@@ -245,6 +281,9 @@ class SweepRecord:
         }
         for f, default in _OPTIONAL_RECORD_DEFAULTS.items():
             values[f] = d.get(f, default)
+        if isinstance(values["stalled"], str):
+            # CSV round-trips booleans as text
+            values["stalled"] = values["stalled"].strip().lower() in ("true", "1")
         return cls(**values)
 
 
@@ -279,7 +318,11 @@ class ProfileCache:
     CSR :class:`~repro.model.compiled.CompiledRouteTable`; ``"python"`` is
     the scalar reference path.  Profiles are bit-identical either way
     (asserted in ``tests/test_compiled_profile.py``), so both engines share
-    one disk-cache namespace.
+    one disk-cache namespace.  ``"des"`` profiles like ``"compiled"`` but
+    *evaluates* by discrete-event simulation (:mod:`repro.des`) — it is
+    required (and the only engine allowed) when the fault spec carries a
+    :class:`~repro.faults.FaultTimeline`, and shares the compiled disk
+    namespace because profiles are static-fabric artifacts.
     """
 
     def __init__(
@@ -312,9 +355,16 @@ class ProfileCache:
         self.seed = seed
         self.busy_fraction = busy_fraction
         self.engine = resolve_profile_engine(profile_engine)
+        if not self.faults.timeline.is_null and self.engine != "des":
+            raise DESEngineError(
+                f"fault timeline {self.faults.timeline.label!r} requires "
+                f"profile_engine='des'; the {self.engine!r} engine scores a "
+                "static fabric and cannot replay mid-run events"
+            )
         self.routes = RouteTable(self.topo)
         self.croutes = (
-            CompiledRouteTable(self.topo) if self.engine == "compiled" else None
+            CompiledRouteTable(self.topo)
+            if self.engine in ("compiled", "des") else None
         )
         self._cache: dict[tuple, ScheduleProfile | None] = {}
         self._mappings: dict[tuple[int, int], RankMap] = dict(mappings or {})
@@ -400,7 +450,7 @@ class ProfileCache:
     def _build(
         self, spec: AlgorithmSpec, p: int, ppn: int, mapping: RankMap
     ) -> ScheduleProfile | None:
-        compiled = self.engine == "compiled"
+        compiled = self.engine in ("compiled", "des")
         analytic = ANALYTIC_PROFILES.get((spec.collective, spec.name))
         # alltoall always uses the analytic (packed-implementation) profiles
         # so small and large rank counts are modelled consistently.
@@ -459,8 +509,15 @@ class ProfileCache:
             return _read_cache_entry(path)
         except CacheCorruptionError as exc:
             # a half-written, truncated or stale entry must degrade to a
-            # recompute (the store below overwrites it), never to a crash
-            warnings.warn(f"profile cache: {exc}; recomputing", RuntimeWarning)
+            # recompute (the store below overwrites it), never to a crash;
+            # warn once per corrupt file per process — a long campaign can
+            # re-read the same bad entry thousands of times
+            token = str(path)
+            if token not in _CORRUPT_WARNED:
+                _CORRUPT_WARNED.add(token)
+                warnings.warn(
+                    f"profile cache: {exc}; recomputing", RuntimeWarning
+                )
             return _MISS
 
     def _disk_store(
@@ -544,13 +601,15 @@ def _profile_records(
     params: CostParams,
     faults: str = "none",
     ppn: int = 1,
+    timeline: str = "none",
 ) -> list[SweepRecord]:
-    """Records for one profile across the size grid, on either engine.
+    """Records for one profile across the size grid, on either analytic engine.
 
     The compiled engine evaluates every size in one
     :func:`~repro.model.compiled.evaluate_grid` pass; the python engine
     calls :func:`~repro.model.simulator.evaluate_time` per size.  Both
-    yield bit-identical records.
+    yield bit-identical records.  (The ``des`` engine goes through
+    :func:`repro.des.records.des_records` instead.)
     """
     if engine == "compiled":
         grid = evaluate_grid(
@@ -573,6 +632,7 @@ def _profile_records(
             global_bytes=float(gbytes),
             faults=faults,
             ppn=ppn,
+            timeline=timeline,
         )
         for nb, time, gbytes in cells
     ]
@@ -594,6 +654,9 @@ def _evaluate_grid(
     ppn: int,
 ) -> list[SweepRecord]:
     """The serial sweep core: profile once, evaluate at every vector size."""
+    des = cache.engine == "des"
+    if des:
+        from repro.des.records import des_records
     records: list[SweepRecord] = []
     for spec in specs:
         for p in node_counts:
@@ -601,6 +664,14 @@ def _evaluate_grid(
                 continue
             profile = cache.get(spec, p, ppn)
             if profile is None:
+                continue
+            if des:
+                records.extend(
+                    des_records(
+                        cache, preset.name, spec, p, vector_bytes, params,
+                        ppn, profile,
+                    )
+                )
                 continue
             records.extend(
                 _profile_records(
@@ -718,6 +789,11 @@ def sweep_torus(
         vector_bytes if vector_bytes is not None else preset.vector_bytes
     )
     engine = resolve_profile_engine(profile_engine)
+    if engine == "des":
+        raise DESEngineError(
+            "torus sweeps have no DES engine: the torus catalog is scored "
+            "analytically only — use profile_engine='compiled' or 'python'"
+        )
     croutes = CompiledRouteTable(topo) if engine == "compiled" else None
     system = f"{preset.name}:{'x'.join(str(d) for d in dims)}"
     records: list[SweepRecord] = []

@@ -100,6 +100,12 @@ def run_campaign(
     combines with the single pristine scenario — fault campaigns need one
     cache per degraded topology.
 
+    The engine resolves ``profile_engine`` (the CLI flag) over the
+    manifest's ``[campaign] engine`` key over the resolver default; a
+    scenario with a fault timeline requires the resolved engine to be
+    ``"des"`` (:class:`~repro.runtime.errors.DESEngineError` otherwise,
+    CLI exit code 8).
+
     Example::
 
         >>> from repro.cli.manifest import load_manifest
@@ -109,6 +115,8 @@ def run_campaign(
         8
     """
     preset = system_for(manifest.system)
+    if profile_engine is None:
+        profile_engine = manifest.engine
     scenarios = tuple(faults) if faults is not None else manifest.faults
     if not scenarios:
         scenarios = (FaultSpec(),)

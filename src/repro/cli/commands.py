@@ -58,17 +58,33 @@ def _fail(message: str) -> int:
 
 
 def _parse_faults(args) -> tuple[FaultSpec, ...] | None:
-    """``--faults`` strings → scenarios, or ``None`` when the flag is absent.
+    """``--faults``/``--timeline`` → scenarios, or ``None`` when both absent.
 
+    ``--timeline`` composes: it is applied on top of every ``--faults``
+    scenario (or on the pristine fabric when ``--faults`` is omitted).
     Raised :class:`FaultSpecError`\\ s propagate to ``main()``, which maps
     them to exit code 3 (parsing happens here, not in an argparse ``type``,
     precisely so the taxonomy handler sees them).
     """
+    import dataclasses
+
+    from repro.faults import FaultTimeline
+
     specs = getattr(args, "faults", None)
+    timeline_text = getattr(args, "timeline", None)
+    timeline = (
+        FaultTimeline.parse(timeline_text) if timeline_text is not None else None
+    )
     if specs is None:
-        return None
+        if timeline is None:
+            return None
+        return (FaultSpec(timeline=timeline),)
     scenarios = tuple(FaultSpec.parse(text) for text in specs)
-    labels = [s.label for s in scenarios]
+    if timeline is not None:
+        scenarios = tuple(
+            dataclasses.replace(s, timeline=timeline) for s in scenarios
+        )
+    labels = [(s.label, s.timeline_label) for s in scenarios]
     if len(set(labels)) != len(labels):
         raise FaultSpecError(f"duplicate --faults scenarios: {labels}")
     return scenarios
@@ -259,7 +275,27 @@ def cmd_sweep(args) -> int:
     else:
         text = _render_records(records, args.format)
     _emit(text, args.output)
-    return 0
+    return _stalled_exit(records)
+
+
+def _stalled_exit(records) -> int:
+    """0, or the stalled-run exit code when any DES cell lost flows mid-run.
+
+    The records themselves are complete and were already emitted — the
+    nonzero code only tells scripted drivers the fabric partitioned under
+    the timeline (see docs/robustness.md, exit code 8).
+    """
+    stalled = sum(1 for r in records if getattr(r, "stalled", False))
+    if not stalled:
+        return 0
+    from repro.cli.main import STALLED_EXIT
+
+    print(
+        f"# {stalled} record(s) stalled mid-run (timeline partitioned the "
+        "fabric); times for those cells are lower bounds",
+        file=sys.stderr,
+    )
+    return STALLED_EXIT
 
 
 # -- repro verify ------------------------------------------------------------
@@ -776,4 +812,4 @@ def cmd_campaign(args) -> int:
     else:
         text = _render_records(result.records, args.format)
     _emit(text, args.output)
-    return 0
+    return _stalled_exit(result.records)

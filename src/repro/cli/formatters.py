@@ -11,7 +11,7 @@ Example::
     >>> from repro.analysis.sweep import SweepRecord
     >>> r = SweepRecord("lumi", "bcast", "bine", "bine", 16, 32, 1e-6, 64.0)
     >>> print(records_csv([r]).splitlines()[0])
-    system,collective,algorithm,family,p,n_bytes,time,global_bytes,faults,ppn
+    system,collective,algorithm,family,p,n_bytes,time,global_bytes,faults,ppn,timeline,stalled
 """
 
 from __future__ import annotations
@@ -106,13 +106,18 @@ def records_table(records: Sequence[SweepRecord]) -> str:
         >>> records_table([]).splitlines()[0].split()[:2]
         ['collective', 'algorithm']
     """
-    # the faults column only appears when a degraded scenario is present,
-    # so pristine sweeps keep their historical layout
+    # the faults / timeline / stalled columns only appear when a degraded
+    # scenario (or DES timeline) is present, so pristine sweeps keep their
+    # historical layout
     degraded = any(r.faults != "none" for r in records)
+    timed = any(r.timeline != "none" for r in records)
+    stalled = any(r.stalled for r in records)
     hdr = (
         f"{'collective':<15}{'algorithm':<26}{'family':<10}"
         f"{'p':>6}{'size':>9}{'time':>12}{'glob.bytes':>12}"
         + (f"  {'faults':<24}" if degraded else "")
+        + (f"  {'timeline':<32}" if timed else "")
+        + ("  stalled" if stalled else "")
     )
     lines = [hdr, "-" * len(hdr)]
     for r in records:
@@ -121,6 +126,8 @@ def records_table(records: Sequence[SweepRecord]) -> str:
             f"{r.p:>6}{human_bytes(r.n_bytes):>9}"
             f"{r.time:>12.3e}{r.global_bytes:>12.3e}"
             + (f"  {r.faults:<24}" if degraded else "")
+            + (f"  {r.timeline:<32}" if timed else "")
+            + (f"  {'yes' if r.stalled else 'no':<7}" if stalled else "")
         )
     return "\n".join(lines)
 

@@ -8,7 +8,10 @@ Exit codes (:data:`EXIT_CODES`): 0 success; 1 drift / verify failure;
 2 usage or domain error; 3 invalid fault spec; 4 partitioned topology;
 5 corrupted profile-cache entry surfaced as an error; 6 worker shard
 failure with fallback disabled; 7 corrupted or mismatched decision-table
-artifact.  Bench runs pass through pytest's code.
+artifact; 8 DES engine error (timeline on a non-DES engine or on an
+analytic-only cell) — also returned, with complete record output, when a
+timeline stalled at least one flow mid-run.  Bench runs pass through
+pytest's code.
 
 Example::
 
@@ -24,6 +27,7 @@ import sys
 from repro.cli import commands
 from repro.runtime.errors import (
     CacheCorruptionError,
+    DESEngineError,
     FaultSpecError,
     TopologyPartitionedError,
     TuneArtifactError,
@@ -40,7 +44,12 @@ EXIT_CODES: dict[type[Exception], int] = {
     CacheCorruptionError: 5,
     WorkerShardError: 6,
     TuneArtifactError: 7,
+    DESEngineError: 8,
 }
+
+#: exit code for a run whose records include stalled DES cells (the run
+#: itself completed and produced full output)
+STALLED_EXIT = 8
 
 
 def _int_list(text: str) -> tuple[int, ...]:
@@ -75,10 +84,12 @@ def _add_execution_knobs(parser: argparse.ArgumentParser) -> None:
         "(delete DIR to force a cold rebuild)",
     )
     parser.add_argument(
-        "--profile-engine", choices=("compiled", "python"), default=None,
+        "--profile-engine", choices=("compiled", "python", "des"), default=None,
         help="profiling/evaluation backend: compiled (vectorized transfer "
-        "tables + CSR routes + grid evaluation, the default) or python "
-        "(scalar reference); records are bit-identical either way "
+        "tables + CSR routes + grid evaluation, the default), python "
+        "(scalar reference; bit-identical to compiled), or des (discrete-"
+        "event fabric simulation — required for --timeline, bit-identical "
+        "to compiled when no timeline perturbs the run) "
         "(REPRO_PROFILE_ENGINE sets the default when this flag is omitted)",
     )
 
@@ -90,6 +101,12 @@ def _add_faults(parser: argparse.ArgumentParser) -> None:
         "'links=1,global=0.5' ('none' for the pristine fabric); repeat "
         "the flag to run several scenarios in one invocation — overrides "
         "a manifest's [[faults]] list (see docs/robustness.md)",
+    )
+    parser.add_argument(
+        "--timeline", metavar="TL", default=None,
+        help="mid-run fault timeline applied to every scenario, e.g. "
+        "'at=0.001:links=2,seed=5;at=0.01:heal=links'; requires "
+        "--profile-engine des (see docs/robustness.md for the grammar)",
     )
 
 

@@ -16,6 +16,10 @@ Schema (TOML shown; JSON mirrors it)::
     placement = "scheduler"         # optional (scheduler | block)
     seed = 7                        # optional allocation-sampler seed
     busy_fraction = 0.55            # optional sampler load factor
+    engine = "des"                  # optional profile engine (python |
+                                    # compiled | des); --profile-engine
+                                    # overrides; required ("des") when any
+                                    # [[faults]] entry has a timeline
 
     [[grid]]                        # one or more
     collectives = ["bcast", ...]    # required
@@ -42,6 +46,11 @@ Schema (TOML shown; JSON mirrors it)::
     seed = 13                       # with the scenario label ("none" when
     [faults.derate]                 # the table is empty = pristine fabric)
     global = 0.5
+
+    [[faults]]                      # mid-run fault timeline (DES engine
+    timeline = "at=0.001:links=2,seed=5;at=0.01:heal=links"
+    failed_links = 1                # only); composes with static damage
+    seed = 13                       # (see docs/robustness.md)
 
 Example::
 
@@ -127,6 +136,9 @@ class CampaignManifest:
     summary: SummarySpec | None = None
     #: fault scenarios; every grid runs once per scenario (empty → pristine)
     faults: tuple[FaultSpec, ...] = ()
+    #: profile engine the campaign declares (None → resolver default);
+    #: the CLI's --profile-engine flag overrides it
+    engine: str | None = None
 
     def collectives(self) -> tuple[str, ...]:
         """Campaign collectives in first-appearance order across grids."""
@@ -275,7 +287,8 @@ def manifest_from_dict(data: dict) -> CampaignManifest:
     camp = _require(data, "campaign", "manifest")
     _check_keys(
         camp,
-        {"name", "system", "description", "placement", "seed", "busy_fraction"},
+        {"name", "system", "description", "placement", "seed", "busy_fraction",
+         "engine"},
         "[campaign]",
     )
     system = str(_require(camp, "system", "[campaign]"))
@@ -303,6 +316,14 @@ def manifest_from_dict(data: dict) -> CampaignManifest:
             "[campaign]: torus_dims grids run on the canonical block "
             'mapping; set placement = "block"'
         )
+    engine = camp.get("engine")
+    if engine is not None:
+        engine = str(engine)
+        if engine not in ("python", "compiled", "des"):
+            raise ManifestError(
+                f"[campaign]: unknown engine {engine!r} "
+                "(python | compiled | des)"
+            )
     raw_faults = data.get("faults") or []
     faults: list[FaultSpec] = []
     for i, entry in enumerate(raw_faults):
@@ -310,12 +331,17 @@ def manifest_from_dict(data: dict) -> CampaignManifest:
             faults.append(FaultSpec.from_dict(entry))
         except FaultSpecError as exc:
             raise ManifestError(f"[[faults]] #{i}: {exc}") from None
-    labels = [f.label for f in faults]
+    labels = [(f.label, f.timeline_label) for f in faults]
     dupes = sorted({lb for lb in labels if labels.count(lb) > 1})
     if dupes:
         raise ManifestError(
             f"[[faults]]: duplicate scenario label(s) {dupes}; records of "
             "identical scenarios would collide"
+        )
+    if any(not f.timeline.is_null for f in faults) and engine != "des":
+        raise ManifestError(
+            "[[faults]]: a timeline scenario needs [campaign] engine = "
+            '"des" (the analytic engines cannot replay mid-run events)'
         )
     if faults and any(g.torus_dims is not None for g in grids):
         raise ManifestError(
@@ -360,6 +386,7 @@ def manifest_from_dict(data: dict) -> CampaignManifest:
         busy_fraction=float(camp.get("busy_fraction", 0.55)),
         summary=summary,
         faults=tuple(faults),
+        engine=engine,
     )
 
 
@@ -408,6 +435,8 @@ def manifest_to_dict(manifest: CampaignManifest) -> dict:
         },
         "grid": [],
     }
+    if manifest.engine is not None:
+        data["campaign"]["engine"] = manifest.engine
     for g in manifest.grids:
         grid: dict = {
             "collectives": list(g.collectives),

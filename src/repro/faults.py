@@ -37,6 +37,7 @@ Example::
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
@@ -44,7 +45,13 @@ from typing import Iterable, Mapping
 from repro.runtime.errors import FaultSpecError, TopologyPartitionedError
 from repro.topology.base import Link, LinkClass, Topology
 
-__all__ = ["FaultSpec", "DegradedTopology", "NIC_DERATE"]
+__all__ = [
+    "FaultSpec",
+    "FaultTimeline",
+    "TimelineEvent",
+    "DegradedTopology",
+    "NIC_DERATE",
+]
 
 #: width factor applied to node-adjacent links when one of a node's NICs
 #: is out (half the injection/ejection bundle survives)
@@ -58,7 +65,9 @@ _LINK_CLASSES = (
 )
 
 #: manifest / to_dict keys of a fault scenario
-FAULT_KEYS = {"seed", "failed_links", "failed_nodes", "nic_outages", "derate"}
+FAULT_KEYS = {
+    "seed", "failed_links", "failed_nodes", "nic_outages", "derate", "timeline",
+}
 
 
 def _normalize_derate(derate) -> tuple[tuple[str, float], ...]:
@@ -67,6 +76,238 @@ def _normalize_derate(derate) -> tuple[tuple[str, float], ...]:
     else:
         items = derate or ()
     return tuple(sorted((str(c), float(f)) for c, f in items))
+
+
+def _fmt_num(value: float) -> str:
+    """Shortest decimal that round-trips through ``float`` (canonical labels)."""
+    return repr(float(value))
+
+
+# -- fault timelines ----------------------------------------------------------
+
+#: what a ``heal=`` event can restore (``all`` clears every dynamic effect)
+HEAL_TARGETS = ("all", "links", "nodes", "nics", "derate", "background")
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One mid-run fabric event of a :class:`FaultTimeline`.
+
+    ``at`` is the simulated time (seconds) the event fires; ``links`` /
+    ``nodes`` / ``nics`` are *additional* victim counts sampled (from
+    ``seed``) among the members still healthy when the event fires;
+    ``derate`` sets per-class dynamic width factors; ``background`` sets
+    the fraction of fabric bandwidth consumed by background traffic;
+    ``heal`` reverses one category of dynamic effects (or ``"all"``).
+    A healing event carries no failure/derate fields — each event is
+    either damage or repair, which keeps the grammar canonical.
+    """
+
+    at: float
+    links: int = 0
+    nodes: int = 0
+    nics: int = 0
+    derate: tuple[tuple[str, float], ...] = field(default=())
+    background: float | None = None
+    heal: str = ""
+    seed: int = 0
+
+    def __post_init__(self):
+        object.__setattr__(self, "derate", _normalize_derate(self.derate))
+        self.validate()
+
+    def validate(self) -> None:
+        try:
+            at = float(self.at)
+        except (TypeError, ValueError):
+            raise FaultSpecError(
+                f"timeline event: at must be a number, got {self.at!r}"
+            ) from None
+        if not math.isfinite(at) or at < 0.0:
+            raise FaultSpecError(
+                f"timeline event: at must be finite and >= 0, got {self.at!r}"
+            )
+        object.__setattr__(self, "at", at)
+        for name in ("links", "nodes", "nics", "seed"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise FaultSpecError(f"timeline event: {name} must be an integer")
+        for name in ("links", "nodes", "nics"):
+            if getattr(self, name) < 0:
+                raise FaultSpecError(f"timeline event: {name} must be >= 0")
+        for cls, factor in self.derate:
+            if cls not in _LINK_CLASSES:
+                raise FaultSpecError(
+                    f"timeline event: unknown link class {cls!r}; "
+                    f"have {list(_LINK_CLASSES)}"
+                )
+            if not 0.0 < factor <= 1.0:
+                raise FaultSpecError(
+                    f"timeline event: derate factor for {cls!r} must be in "
+                    f"(0, 1], got {factor!r}"
+                )
+        if self.background is not None:
+            bg = float(self.background)
+            if not 0.0 <= bg < 1.0:
+                raise FaultSpecError(
+                    f"timeline event: background must be in [0, 1), got {bg!r}"
+                )
+            object.__setattr__(self, "background", bg)
+        if self.heal and self.heal not in HEAL_TARGETS:
+            raise FaultSpecError(
+                f"timeline event: heal target {self.heal!r} unknown; "
+                f"have {list(HEAL_TARGETS)}"
+            )
+        damages = self.links or self.nodes or self.nics or self.derate
+        if self.heal and (damages or self.background is not None):
+            raise FaultSpecError(
+                "timeline event: heal events carry no failure/derate/"
+                "background fields (use separate events)"
+            )
+        if not self.heal and not damages and self.background is None:
+            raise FaultSpecError(
+                f"timeline event at={_fmt_num(self.at)}: event does nothing"
+            )
+
+    @property
+    def label(self) -> str:
+        """Canonical ``at=T:field=value,...`` form (the grammar itself)."""
+        parts = []
+        if self.links:
+            parts.append(f"links={self.links}")
+        if self.nodes:
+            parts.append(f"nodes={self.nodes}")
+        if self.nics:
+            parts.append(f"nics={self.nics}")
+        parts.extend(f"{cls}={_fmt_num(f)}" for cls, f in self.derate)
+        if self.background is not None:
+            parts.append(f"background={_fmt_num(self.background)}")
+        if self.heal:
+            parts.append(f"heal={self.heal}")
+        if self.seed:
+            parts.append(f"seed={self.seed}")
+        return f"at={_fmt_num(self.at)}:" + ",".join(parts)
+
+
+def _parse_event(text: str) -> TimelineEvent:
+    head, colon, rest = text.partition(":")
+    key, _, value = head.partition("=")
+    if not colon or key.strip() != "at":
+        raise FaultSpecError(
+            f"timeline event {text!r}: expected 'at=T:field=value,...'"
+        )
+    try:
+        at = float(value)
+    except ValueError:
+        raise FaultSpecError(
+            f"timeline event {text!r}: at takes a number, got {value!r}"
+        ) from None
+    kwargs: dict = {"at": at, "derate": {}}
+    for part in rest.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, eq, value = part.partition("=")
+        key, value = key.strip(), value.strip()
+        if not eq:
+            raise FaultSpecError(
+                f"timeline event {text!r}: expected field=value, got {part!r}"
+            )
+        if key in ("links", "nodes", "nics", "seed"):
+            try:
+                kwargs[key] = int(value)
+            except ValueError:
+                raise FaultSpecError(
+                    f"timeline event {text!r}: {key} takes an integer, "
+                    f"got {value!r}"
+                ) from None
+        elif key in ("background",):
+            try:
+                kwargs[key] = float(value)
+            except ValueError:
+                raise FaultSpecError(
+                    f"timeline event {text!r}: {key} takes a number, "
+                    f"got {value!r}"
+                ) from None
+        elif key == "heal":
+            kwargs["heal"] = value
+        elif key in _LINK_CLASSES:
+            try:
+                kwargs["derate"][key] = float(value)
+            except ValueError:
+                raise FaultSpecError(
+                    f"timeline event {text!r}: derate for {key!r} takes a "
+                    f"number, got {value!r}"
+                ) from None
+        else:
+            raise FaultSpecError(
+                f"timeline event {text!r}: unknown field {key!r}; have "
+                f"links, nodes, nics, seed, background, heal and the link "
+                f"classes {list(_LINK_CLASSES)}"
+            )
+    return TimelineEvent(**kwargs)
+
+
+@dataclass(frozen=True)
+class FaultTimeline:
+    """A seeded, deterministic schedule of mid-run fabric events.
+
+    Events are canonically sorted by ``at`` (construction order never
+    matters) and two events may not share an ``at`` — the label must be a
+    pure function of *what happens*, and simultaneous events would make
+    application order an invisible degree of freedom.
+
+    Example::
+
+        >>> tl = FaultTimeline.parse("at=0.002:heal=links;at=0.001:links=2")
+        >>> tl.label
+        'at=0.001:links=2;at=0.002:heal=links'
+        >>> FaultTimeline.parse(tl.label) == tl
+        True
+        >>> FaultTimeline().label
+        'none'
+    """
+
+    events: tuple[TimelineEvent, ...] = ()
+
+    def __post_init__(self):
+        events = tuple(sorted(self.events, key=lambda e: e.at))
+        object.__setattr__(self, "events", events)
+        seen: set[float] = set()
+        for event in events:
+            if event.at in seen:
+                raise FaultSpecError(
+                    f"fault timeline: duplicate event time "
+                    f"at={_fmt_num(event.at)} (merge the events or offset one)"
+                )
+            seen.add(event.at)
+
+    @property
+    def is_null(self) -> bool:
+        return not self.events
+
+    @property
+    def label(self) -> str:
+        """Canonical grammar string; ``"none"`` when empty.
+
+        ``FaultTimeline.parse(tl.label) == tl`` always holds (asserted by
+        the property tests), so the label can key records, cache entries
+        and manifests exactly like :attr:`FaultSpec.label` does.
+        """
+        if not self.events:
+            return "none"
+        return ";".join(event.label for event in self.events)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultTimeline":
+        """Parse ``at=T:links=K,seed=S;at=T2:heal=links`` (inverse of label)."""
+        text = (text or "").strip()
+        if text in ("", "none"):
+            return cls()
+        return cls(tuple(
+            _parse_event(part.strip())
+            for part in text.split(";") if part.strip()
+        ))
 
 
 @dataclass(frozen=True)
@@ -78,6 +319,13 @@ class FaultSpec:
     applied to a topology (same spec → same victims, always).
     ``derate`` maps link classes to width factors in ``(0, 1]`` — e.g.
     ``{"global": 0.5}`` halves every global bundle's capacity.
+
+    ``timeline`` optionally attaches a :class:`FaultTimeline` of mid-run
+    events on top of the static degradation; only the ``"des"`` profile
+    engine can replay one (static engines raise
+    :class:`~repro.runtime.errors.DESEngineError`).  The timeline has its
+    own label (:attr:`timeline_label`) — :attr:`label` stays the static
+    scenario name, so records carry the two axes separately.
 
     Example::
 
@@ -92,9 +340,16 @@ class FaultSpec:
     failed_nodes: int = 0
     nic_outages: int = 0
     derate: tuple[tuple[str, float], ...] = field(default=())
+    timeline: FaultTimeline = field(default_factory=FaultTimeline)
 
     def __post_init__(self):
         object.__setattr__(self, "derate", _normalize_derate(self.derate))
+        if isinstance(self.timeline, str):
+            object.__setattr__(self, "timeline", FaultTimeline.parse(self.timeline))
+        elif not isinstance(self.timeline, FaultTimeline):
+            raise FaultSpecError(
+                "fault spec: timeline must be a FaultTimeline or its label"
+            )
         self.validate()
 
     def validate(self) -> None:
@@ -119,22 +374,30 @@ class FaultSpec:
                 )
 
     @property
-    def is_null(self) -> bool:
-        """True when the spec degrades nothing (the pristine fabric)."""
-        return not (
+    def has_static(self) -> bool:
+        """True when the spec degrades the fabric before the run starts."""
+        return bool(
             self.failed_links or self.failed_nodes or self.nic_outages
             or self.derate
         )
 
     @property
+    def is_null(self) -> bool:
+        """True when the spec degrades nothing (statically *or* mid-run)."""
+        return not self.has_static and self.timeline.is_null
+
+    @property
     def label(self) -> str:
-        """Canonical, filesystem-safe scenario name; ``"none"`` if pristine.
+        """Canonical, filesystem-safe *static* scenario name (``"none"`` if
+        statically pristine).
 
         The label keys :class:`~repro.analysis.sweep.SweepRecord` rows,
         disk-cache namespaces and report figures, so it must be a pure
-        function of the spec.
+        function of the spec.  The timeline has its own axis
+        (:attr:`timeline_label`): profiles are a static-fabric artifact,
+        so a timeline-only spec shares the pristine cache namespace.
         """
-        if self.is_null:
+        if not self.has_static:
             return "none"
         parts = []
         if self.failed_links:
@@ -146,6 +409,11 @@ class FaultSpec:
         parts.extend(f"{cls}x{factor:g}" for cls, factor in self.derate)
         parts.append(f"seed{self.seed}")
         return "-".join(parts)
+
+    @property
+    def timeline_label(self) -> str:
+        """Canonical label of the attached timeline (``"none"`` if empty)."""
+        return self.timeline.label
 
     @classmethod
     def parse(cls, text: str) -> "FaultSpec":
@@ -222,12 +490,19 @@ class FaultSpec:
             raise FaultSpecError(
                 "fault spec: derate must be a table of link-class factors"
             )
+        timeline = data.get("timeline", "")
+        if not isinstance(timeline, str):
+            raise FaultSpecError(
+                "fault spec: timeline must be a grammar string "
+                "('at=T:links=K,...;at=T2:heal=...')"
+            )
         return cls(
             seed=_int("seed"),
             failed_links=_int("failed_links"),
             failed_nodes=_int("failed_nodes"),
             nic_outages=_int("nic_outages"),
             derate={str(k): v for k, v in derate.items()},
+            timeline=FaultTimeline.parse(timeline),
         )
 
     def to_dict(self) -> dict:
@@ -243,6 +518,8 @@ class FaultSpec:
             out["nic_outages"] = self.nic_outages
         if self.derate:
             out["derate"] = dict(self.derate)
+        if not self.timeline.is_null:
+            out["timeline"] = self.timeline.label
         return out
 
 
@@ -415,7 +692,19 @@ class DegradedTopology(Topology):
             if link.key in self._nic_keys:
                 factor *= NIC_DERATE
             if factor != 1.0:
-                link = Link(link.key, link.cls, link.width * factor)
+                width = link.width * factor
+                # A factor in (0, 1] can still *compose* its way to zero:
+                # a denormal class derate times NIC_DERATE underflows, and
+                # a zero-width link turns every load it carries into a
+                # divide-by-zero (inf records) downstream.  Refuse here —
+                # loudly — rather than poison the sweep.
+                if not width > 0.0:
+                    raise FaultSpecError(
+                        f"fault spec {self.spec.label!r}: derate underflows "
+                        f"link {link.key!r} ({link.cls}) from width "
+                        f"{link.width:g} to zero"
+                    )
+                link = Link(link.key, link.cls, width)
             out.append(link)
         return out
 

@@ -71,8 +71,11 @@ __all__ = [
     "PROFILE_ENGINES",
 ]
 
-#: accepted values for the sweep layer's ``profile_engine`` knob
-PROFILE_ENGINES = ("python", "compiled")
+#: accepted values for the sweep layer's ``profile_engine`` knob —
+#: ``python``/``compiled`` are the (bit-identical) analytic evaluators;
+#: ``des`` is the discrete-event fabric engine (:mod:`repro.des`), the
+#: only engine that can replay a :class:`~repro.faults.FaultTimeline`
+PROFILE_ENGINES = ("python", "compiled", "des")
 
 
 def resolve_profile_engine(engine: str | None = None) -> str:

@@ -136,17 +136,24 @@ def render_report(
     # Figures are rendered per (system tag, fault scenario): multi-sub-torus
     # campaigns (e.g. Fig. 11b's fugaku:4x4x4 and fugaku:8x8, both 64
     # ranks) and degraded-fabric scenarios would otherwise merge distinct
-    # topologies / fabric conditions into one heatmap cell.
-    panes = sorted({(r.system, r.faults) for r in records})
+    # topologies / fabric conditions into one heatmap cell.  A fault
+    # timeline extends the scenario label (``faults@timeline``), and
+    # stalled DES records are dropped — a stalled run has no completion
+    # time to plot (the index digest still covers the full record set).
+    def scenario_of(r):
+        return r.faults if r.timeline == "none" else f"{r.faults}@{r.timeline}"
+
+    plottable = [r for r in records if not r.stalled]
+    panes = sorted({(r.system, scenario_of(r)) for r in plottable})
     written: list[Path] = []
     artifacts: list[Artifact] = []
     for system, faults in panes:
         if len(panes) == 1:
-            own, suffix, label = list(records), "", name
+            own, suffix, label = list(plottable), "", name
         else:
             own = [
-                r for r in records
-                if r.system == system and r.faults == faults
+                r for r in plottable
+                if r.system == system and scenario_of(r) == faults
             ]
             tag = system if faults == "none" else f"{system}_{faults}"
             suffix = "_" + re.sub(r"[^A-Za-z0-9._-]+", "-", tag)

@@ -5,10 +5,11 @@ emits, keyed so reruns line up cell for cell:
 
 * **sweep** — a JSON array of :data:`~repro.analysis.sweep.RECORD_FIELDS`
   objects (``repro sweep/campaign --format json``), keyed by
-  ``(system, collective, algorithm, p, n_bytes, faults, ppn)`` and
-  compared on ``family`` / ``time`` / ``global_bytes``; rows predating
-  the fault or ppn dimensions load with ``faults="none"`` / ``ppn=1``,
-  so old baselines stay diffable;
+  ``(system, collective, algorithm, p, n_bytes, faults, ppn, timeline)``
+  and compared on ``family`` / ``time`` / ``global_bytes`` / ``stalled``;
+  rows predating the fault, ppn or timeline dimensions load with
+  ``faults="none"`` / ``ppn=1`` / ``timeline="none"`` /
+  ``stalled=False``, so old baselines stay diffable;
 * **tune** — a ``repro/decision-table`` artifact (``repro tune``),
   exploded to one row per populated grid cell, keyed by
   ``(system, faults, collective, ppn, p, n_bytes)`` and compared on
@@ -56,10 +57,15 @@ __all__ = [
 #: bit-identical, so anything beyond float-noise counts as drift
 DEFAULT_TOLERANCE = 1e-9
 
-_SWEEP_KEY = ("system", "collective", "algorithm", "p", "n_bytes", "faults", "ppn")
-_SWEEP_VALUES = ("family", "time", "global_bytes")
-#: sweep key fields that old record files may omit, with their defaults
-_SWEEP_KEY_DEFAULTS = {"faults": "none", "ppn": 1}
+_SWEEP_KEY = (
+    "system", "collective", "algorithm", "p", "n_bytes", "faults", "ppn",
+    "timeline",
+)
+_SWEEP_VALUES = ("family", "time", "global_bytes", "stalled")
+#: sweep fields that old record files may omit, with their defaults
+_SWEEP_KEY_DEFAULTS = {
+    "faults": "none", "ppn": 1, "timeline": "none", "stalled": False,
+}
 _VERIFY_KEY = ("collective", "algorithm", "p", "n", "seeds", "engine")
 _VERIFY_VALUES = ("status", "detail")
 _TUNE_KEY = ("system", "faults", "collective", "ppn", "p", "n_bytes")

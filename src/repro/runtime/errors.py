@@ -17,6 +17,7 @@ __all__ = [
     "WorkerShardError",
     "TuneArtifactError",
     "TuneQueryError",
+    "DESEngineError",
 ]
 
 
@@ -68,6 +69,18 @@ class TuneArtifactError(RuntimeSubstrateError):
     or corrupted file), or whose provenance digest does not match the
     records it claims to be built from.  Serving layers must never answer
     queries from such a table.
+    """
+
+
+class DESEngineError(RuntimeSubstrateError):
+    """The discrete-event fabric engine cannot execute the requested cell.
+
+    Raised when a fault timeline is combined with an engine that cannot
+    replay it (``profile_engine`` other than ``"des"``), when a timeline
+    is asked of a cell the DES engine has no transfer program for
+    (analytic-profile cells: ``alltoall`` and rank counts above
+    ``ANALYTIC_THRESHOLD``), or when a timeline event is inapplicable to
+    the fabric mid-run.  Mapped to CLI exit code 8.
     """
 
 

@@ -9,11 +9,18 @@ Collective Communications* applied to this reproduction's sweep records.
 
 The artifact contract:
 
-* **One sub-table per** ``(system, faults, collective, ppn)``; each maps
-  the sorted ``(p, n_bytes)`` grid of its source records to the winning
-  algorithm, its family, and the winner's *margin* over the runner-up
-  algorithm (``runner_up_time / winner_time``; ``null`` when the cell
-  has a single applicable algorithm).
+* **One sub-table per** ``(system, scenario, collective, ppn)``; each
+  maps the sorted ``(p, n_bytes)`` grid of its source records to the
+  winning algorithm, its family, and the winner's *margin* over the
+  runner-up algorithm (``runner_up_time / winner_time``; ``null`` when
+  the cell has a single applicable algorithm).  The scenario label is
+  the record's static ``faults`` label, with ``@<timeline>`` appended
+  for records produced under a fault timeline — DES runs under
+  different timelines never share a sub-table.
+* **Stalled records never pick winners.**  A DES record whose run
+  stalled (partitioned fabric, ``stalled=True``) carries no meaningful
+  completion time, so it is excluded before the winner computation; the
+  provenance ``records_digest`` still covers the full unfiltered input.
 * **Winners are the heatmap's winners.**  Cells are computed through
   :func:`repro.analysis.summarize.best_algorithm_cells` — the exact
   function behind the Fig. 9a figures — so a table and the figure
@@ -59,7 +66,10 @@ SCHEMA_VERSION = 1
 
 @dataclass(frozen=True)
 class SubTable:
-    """The decision grid for one ``(system, faults, collective, ppn)``.
+    """The decision grid for one ``(system, scenario, collective, ppn)``.
+
+    ``faults`` holds the scenario label: the static fault label, plus
+    ``@<timeline>`` when the source records ran under a fault timeline.
 
     ``winner``/``family``/``margin`` are row-major matrices indexed
     ``[p_index][n_index]`` over the sorted ``p_grid`` × ``n_grid`` axes;
@@ -245,12 +255,17 @@ def build_decision_table(
 ) -> DecisionTable:
     """Compile sweep records into a :class:`DecisionTable`.
 
-    Records are grouped per ``(system, faults, collective, ppn)``; each
-    group's sorted ``(p, n_bytes)`` grid is resolved through
+    Records are grouped per ``(system, scenario, collective, ppn)``,
+    where the scenario is the static fault label plus ``@<timeline>``
+    when the record ran under a fault timeline; each group's sorted
+    ``(p, n_bytes)`` grid is resolved through
     :func:`~repro.analysis.summarize.best_algorithm_cells` — the heatmap
     winner function — so the table can never disagree with the Fig. 9a
     figures rendered from the same records.  The margin is the winner's
-    lead over the best *other* algorithm in the cell.
+    lead over the best *other* algorithm in the cell.  Stalled records
+    (DES runs cut off by a partitioning timeline) are dropped before
+    winners are computed but still count toward ``records_digest`` /
+    ``record_count`` provenance.
 
     Example::
 
@@ -266,7 +281,10 @@ def build_decision_table(
     """
     groups: dict[tuple[str, str, str, int], list[SweepRecord]] = {}
     for r in records:
-        groups.setdefault((r.system, r.faults, r.collective, r.ppn), []).append(r)
+        if r.stalled:
+            continue  # a stalled run has no completion time to rank
+        scenario = r.faults if r.timeline == "none" else f"{r.faults}@{r.timeline}"
+        groups.setdefault((r.system, scenario, r.collective, r.ppn), []).append(r)
     tables = []
     for key in sorted(groups):
         system, faults, collective, ppn = key

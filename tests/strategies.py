@@ -17,6 +17,7 @@ import random
 from typing import Sequence
 
 from repro.analysis.sweep import SweepRecord
+from repro.faults import HEAL_TARGETS, FaultTimeline, TimelineEvent
 
 #: plausible algorithm inventory per family, mirroring the registry's shape
 FAMILIES = {
@@ -95,6 +96,46 @@ def record_grid(
                                 )
                             records.extend(cell)
     return records
+
+
+#: link classes a timeline derate event may target (labels, not enums)
+TIMELINE_CLASSES = ("local", "global", "torus", "intra")
+
+
+def timeline_event(rng: random.Random, at: float) -> TimelineEvent:
+    """One plausible :class:`TimelineEvent` at time ``at``.
+
+    Covers all three event shapes the grammar allows — damage (victim
+    counts), rate changes (derate / background) and heals — while never
+    generating an invalid event (the constructor rejects no-op and mixed
+    heal+damage events).
+    """
+    kind = rng.choice(("damage", "rates", "heal"))
+    if kind == "heal":
+        return TimelineEvent(at=at, heal=rng.choice(HEAL_TARGETS))
+    if kind == "rates":
+        if rng.random() < 0.5:
+            cls = rng.choice(TIMELINE_CLASSES)
+            return TimelineEvent(
+                at=at, derate={cls: rng.choice((0.25, 0.5, 0.75, 1.0))}
+            )
+        return TimelineEvent(at=at, background=rng.choice((0.0, 0.125, 0.5, 0.9)))
+    return TimelineEvent(
+        at=at,
+        links=rng.randint(1, 3),  # >= 1 so the event is never a no-op
+        nodes=rng.randint(0, 2),
+        nics=rng.randint(0, 2),
+        seed=rng.randint(0, 99),
+    )
+
+
+def timeline(rng: random.Random, *, max_events: int = 4) -> FaultTimeline:
+    """A random :class:`FaultTimeline` of 0–``max_events`` distinct-time events."""
+    count = rng.randint(0, max_events)
+    ats: set[float] = set()
+    while len(ats) < count:
+        ats.add(round(rng.uniform(0.0, 0.05), rng.randint(3, 9)))
+    return FaultTimeline(tuple(timeline_event(rng, at) for at in sorted(ats)))
 
 
 def shuffled(records: Sequence[SweepRecord], rng: random.Random) -> list[SweepRecord]:

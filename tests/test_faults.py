@@ -177,7 +177,9 @@ class TestFaultedSweeps:
         records = sweep_system(lumi(), faults=SPEC, **SWEEP_KWARGS)
         assert records
         assert {r.faults for r in records} == {SPEC.label}
-        assert all(r.key[-1] == SPEC.label for r in records)
+        # key is (..., faults, timeline); the static label slots before
+        # the (empty) timeline label
+        assert all(r.key[-2:] == (SPEC.label, "none") for r in records)
 
     def test_faulted_differs_from_pristine(self):
         pristine = sweep_system(lumi(), **SWEEP_KWARGS)

@@ -159,14 +159,15 @@ def _partitioning_seed() -> int:
 class TestCliExitCodes:
     def test_taxonomy_codes_distinct(self):
         codes = list(EXIT_CODES.values())
-        assert sorted(codes) == [3, 4, 5, 6, 7]
+        assert sorted(codes) == [3, 4, 5, 6, 7, 8]
         assert EXIT_CODES[FaultSpecError] == 3
         assert EXIT_CODES[TopologyPartitionedError] == 4
         assert EXIT_CODES[CacheCorruptionError] == 5
         assert EXIT_CODES[WorkerShardError] == 6
-        from repro.runtime.errors import TuneArtifactError
+        from repro.runtime.errors import DESEngineError, TuneArtifactError
 
         assert EXIT_CODES[TuneArtifactError] == 7
+        assert EXIT_CODES[DESEngineError] == 8
 
     def test_bad_fault_spec_exits_3(self, capsys):
         code = main(["sweep", "--system", "lumi", "--collective", "bcast",
