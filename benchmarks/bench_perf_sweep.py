@@ -20,7 +20,11 @@ per node, plus p = 4096 at ppn = 2 (LUMI has 2976 nodes) — and writes
   per ``(profile, size)`` cell, the compiled engine evaluates each
   profile's whole size grid in one ``evaluate_grid`` pass.  The ≥5×
   compiled speedup is asserted (measured ~18×) — this is what makes
-  campaign-scale reruns effectively free.
+  campaign-scale reruns effectively free;
+* **trace overhead** — the estimated cost of the *disabled* telemetry
+  hooks (``obs.span`` no-ops and always-on counter increments) on the
+  warm compiled evaluation pass: hooks actually crossed × per-call
+  microbenchmark cost, asserted under 3% of the untraced wall-clock.
 
 The seed pipeline measured ~50 s for the p ≤ 1024 campaign on the
 paper-repro reference box and could not reach p = 4096 interactively; the
@@ -55,6 +59,8 @@ VECTOR_BYTES = tuple(32 * 8**k for k in range(9))
 COLD_BUDGET_S = 90.0
 #: the compiled evaluation layer must beat per-size python evaluation
 EVAL_SPEEDUP_FLOOR = 5.0
+#: disabled telemetry hooks must stay under 3% of the warm-eval wall-clock
+TRACE_OVERHEAD_CEILING = 0.03
 
 
 def _run_campaign(cache=None, **kwargs) -> tuple[float, int]:
@@ -92,6 +98,55 @@ def _warm_eval() -> dict:
     }
 
 
+def _trace_overhead(untraced_warm_eval_s: float) -> dict:
+    """Estimated tracing-*disabled* telemetry cost on the warm eval pass.
+
+    Runs the warm compiled evaluation once inside an in-memory trace
+    session to count the span/counter hooks it actually crosses, then
+    microbenchmarks the disabled-path cost of each hook kind (a no-op
+    ``span()`` with representative kwargs; an always-on counter
+    increment).  The product, as a fraction of the untraced wall-clock,
+    deliberately *overcounts* (counter totals stand in for call counts)
+    so the asserted ceiling is conservative.
+    """
+    from repro import obs
+
+    cache = ProfileCache(lumi(), profile_engine="compiled")
+    _run_campaign(cache=cache)  # warm the profiles
+    obs.begin_session(None)
+    try:
+        _run_campaign(cache=cache)
+    finally:
+        trace_doc, stats_doc = obs.end_session()
+    spans = sum(1 for e in trace_doc["traceEvents"] if e.get("ph") == "B")
+    increments = int(sum(stats_doc["counters"].values()))
+
+    reps = 20_000
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        with obs.span(
+            "bench.span", collective="allreduce", algorithm="bine",
+            p=1024, ppn=1,
+        ):
+            pass
+    span_s = (time.perf_counter() - t0) / reps
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        obs.inc("bench.overhead_probe")
+    inc_s = (time.perf_counter() - t0) / reps
+    obs.reset()  # drop the probe counters
+
+    overhead_s = spans * span_s + increments * inc_s
+    return {
+        "span_sites_crossed": spans,
+        "counter_increments": increments,
+        "disabled_span_ns": round(span_s * 1e9, 1),
+        "counter_inc_ns": round(inc_s * 1e9, 1),
+        "overhead_s": round(overhead_s, 6),
+        "fraction_of_warm_eval": round(overhead_s / untraced_warm_eval_s, 6),
+    }
+
+
 def compute() -> dict:
     shutil.rmtree(CACHE_DIR, ignore_errors=True)
 
@@ -116,6 +171,7 @@ def compute() -> dict:
         assert n_cold == n_par
 
     warm_eval = _warm_eval()
+    trace_overhead = _trace_overhead(warm_eval["compiled_s"])
 
     assert n_cold == n_warm
     result = {
@@ -131,6 +187,7 @@ def compute() -> dict:
         "warm_disk_cache_s": round(warm_s, 3),
         "parallel_workers4_s": round(parallel_s, 3) if parallel_s is not None else None,
         "warm_eval": warm_eval,
+        "trace_overhead": trace_overhead,
         "cpu_count": cpu_count,
         "unix_time": int(time.time()),
     }
@@ -146,6 +203,10 @@ def test_perf_sweep():
     assert result["cold_s"] < COLD_BUDGET_S
     assert result["warm_disk_cache_s"] < result["cold_s"]
     assert result["warm_eval"]["speedup"] >= EVAL_SPEEDUP_FLOOR
+    assert (
+        result["trace_overhead"]["fraction_of_warm_eval"]
+        < TRACE_OVERHEAD_CEILING
+    )
 
 
 if __name__ == "__main__":

@@ -63,6 +63,7 @@ import re
 import tempfile
 import warnings
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from contextlib import contextmanager
 from concurrent.futures import TimeoutError as _FuturesTimeout
 from dataclasses import dataclass
 from pathlib import Path
@@ -86,6 +87,7 @@ from repro.model.simulator import (
     profile_schedule,
 )
 from repro.faults import DegradedTopology, FaultSpec
+from repro import obs
 from repro.runtime.errors import (
     CacheCorruptionError,
     DESEngineError,
@@ -105,6 +107,7 @@ __all__ = [
     "clear_memo_caches",
     "memo_cache_registry",
     "memo_cache_sizes",
+    "shard_fallback_scope",
 ]
 
 
@@ -124,6 +127,7 @@ def memo_cache_registry() -> dict[str, tuple]:
     from repro.core import negabinary as _nb
     from repro.des import records as _des_records
     from repro.model import compiled as _compiled
+    from repro.obs import metrics as _metrics
     from repro.tune import serve as _serve
 
     def lru(fn):
@@ -144,6 +148,7 @@ def memo_cache_registry() -> dict[str, tuple]:
         "compiled._TABLE_CACHE": table(_compiled._TABLE_CACHE),
         "tune.serve._SERVE_CACHE": table(_serve._SERVE_CACHE),
         "des.records._SIM_CACHE": table(_des_records._SIM_CACHE),
+        "obs.metrics": (_metrics.active_series, _metrics.reset),
     }
 
 
@@ -433,6 +438,7 @@ class ProfileCache:
         """
         key = (spec.collective, spec.name, p, ppn)
         if key not in self._cache:
+            obs.inc("cache.profile.miss")
             if not self.applicable(spec, p, ppn):
                 self._cache[key] = None
                 return None
@@ -440,11 +446,23 @@ class ProfileCache:
             # scheduler-allocation RNG advances in the same order on cold
             # and warm runs (mappings are order-dependent draws).
             mapping = self.mapping_for(p, ppn)
-            profile = self._disk_load(key, mapping)
-            if profile is _MISS:
-                profile = self._build(spec, p, ppn, mapping)
-                self._disk_store(key, profile, mapping)
+            with obs.span(
+                "cache.profile.fill",
+                collective=spec.collective,
+                algorithm=spec.name,
+                p=p,
+                ppn=ppn,
+            ):
+                profile = self._disk_load(key, mapping)
+                if profile is _MISS:
+                    profile = self._build(spec, p, ppn, mapping)
+                    obs.inc("profile.built")
+                    self._disk_store(key, profile, mapping)
+                else:
+                    obs.inc("profile.disk_warm")
             self._cache[key] = profile
+        else:
+            obs.inc("cache.profile.hit")
         return self._cache[key]
 
     def _build(
@@ -458,20 +476,48 @@ class ProfileCache:
             if spec.pow2_only and p & (p - 1):
                 return None
             routes = self.croutes if compiled else self.routes
-            return analytic(p, self.topo, mapping, routes=routes)
+            with obs.span(
+                "profile.analytic",
+                collective=spec.collective,
+                algorithm=spec.name,
+                p=p,
+            ):
+                return analytic(p, self.topo, mapping, routes=routes)
         if compiled:
             # schedules lower once per (collective, algorithm, p) — the
             # table is shared across systems, placements and seeds
             table = transfer_table_for(spec, p)
             if table is None:
                 return None  # constraint (pow2/divisibility) not met
-            return profile_table(table, self.topo, mapping, routes=self.croutes)
+            with obs.span(
+                "profile.table",
+                collective=spec.collective,
+                algorithm=spec.name,
+                p=p,
+            ):
+                return profile_table(
+                    table, self.topo, mapping, routes=self.croutes
+                )
         try:
-            with schedule_validation(False):
-                schedule = spec.build(p, p)  # canonical size: one element per block
+            with obs.span(
+                "schedule.build",
+                collective=spec.collective,
+                algorithm=spec.name,
+                p=p,
+            ):
+                with schedule_validation(False):
+                    schedule = spec.build(p, p)  # one element per block
         except ValueError:
             return None  # constraint (pow2/divisibility) not met
-        return profile_schedule(schedule, self.topo, mapping, routes=self.routes)
+        with obs.span(
+            "profile.schedule",
+            collective=spec.collective,
+            algorithm=spec.name,
+            p=p,
+        ):
+            return profile_schedule(
+                schedule, self.topo, mapping, routes=self.routes
+            )
 
     # -- on-disk persistence ------------------------------------------------
 
@@ -503,11 +549,18 @@ class ProfileCache:
 
     def _disk_load(self, key: tuple, mapping: RankMap):
         path = self._disk_path(key, mapping)
-        if path is None or not path.exists():
+        if path is None:
+            return _MISS
+        if not path.exists():
+            obs.inc("cache.disk.miss")
             return _MISS
         try:
-            return _read_cache_entry(path)
+            with obs.span("cache.disk.get", entry=path.name):
+                profile = _read_cache_entry(path)
+            obs.inc("cache.disk.hit")
+            return profile
         except CacheCorruptionError as exc:
+            obs.inc("cache.disk.corrupt")
             # a half-written, truncated or stale entry must degrade to a
             # recompute (the store below overwrites it), never to a crash;
             # warn once per corrupt file per process — a long campaign can
@@ -526,6 +579,7 @@ class ProfileCache:
         path = self._disk_path(key, mapping)
         if path is None:
             return
+        obs.inc("cache.disk.put")
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = pickle.dumps(profile, protocol=pickle.HIGHEST_PROTOCOL)
         # atomic publish: parallel workers may race on the same entry; the
@@ -611,15 +665,33 @@ def _profile_records(
     yield bit-identical records.  (The ``des`` engine goes through
     :func:`repro.des.records.des_records` instead.)
     """
-    if engine == "compiled":
-        grid = evaluate_grid(
-            profile, params, [nb / params.itemsize for nb in vector_bytes]
+    with obs.span(
+        "evaluate.grid",
+        collective=spec.collective,
+        algorithm=spec.name,
+        p=p,
+        engine=engine,
+        sizes=len(vector_bytes),
+    ):
+        if engine == "compiled":
+            grid = evaluate_grid(
+                profile, params, [nb / params.itemsize for nb in vector_bytes]
+            )
+            cells = zip(vector_bytes, grid.time, grid.global_bytes)
+        else:
+            cells = (
+                (nb,) + _scalar_cell(profile, params, nb) for nb in vector_bytes
+            )
+        records = _cells_to_records(
+            cells, system, spec, p, faults, ppn, timeline
         )
-        cells = zip(vector_bytes, grid.time, grid.global_bytes)
-    else:
-        cells = (
-            (nb,) + _scalar_cell(profile, params, nb) for nb in vector_bytes
-        )
+    obs.inc("evaluate.records", len(records))
+    return records
+
+
+def _cells_to_records(
+    cells, system, spec, p, faults, ppn, timeline
+) -> list[SweepRecord]:
     return [
         SweepRecord(
             system=system,
@@ -737,13 +809,26 @@ def sweep_system(
         profile_engine=profile_engine, faults=faults,
     )
     specs = _selected_specs(collectives, algorithms)
-    if workers is not None and workers > 1:
-        return _sweep_parallel(
-            preset, cache, specs, node_counts, vector_bytes, params, max_p, ppn, workers
-        )
-    return _evaluate_grid(
-        preset, cache, specs, node_counts, vector_bytes, params, max_p, ppn
-    )
+    with obs.span(
+        "sweep.system",
+        system=preset.name,
+        collectives=",".join(collectives),
+        engine=cache.engine,
+        faults=cache.faults_label,
+        workers=workers or 1,
+    ) as sweep_span:
+        if workers is not None and workers > 1:
+            records = _sweep_parallel(
+                preset, cache, specs, node_counts, vector_bytes, params,
+                max_p, ppn, workers,
+            )
+        else:
+            records = _evaluate_grid(
+                preset, cache, specs, node_counts, vector_bytes, params,
+                max_p, ppn,
+            )
+        sweep_span.set(records=len(records))
+    return records
 
 
 def sweep_torus(
@@ -836,6 +921,31 @@ def _shard_timeout() -> float:
         return _SHARD_TIMEOUT_S
 
 
+#: active :func:`shard_fallback_scope` tokens (innermost last); inside a
+#: scope the serial-fallback warning fires once instead of once per sweep
+_FALLBACK_SCOPES: list[dict] = []
+
+
+@contextmanager
+def shard_fallback_scope():
+    """Deduplicate serial-fallback warnings across the sweeps of one run.
+
+    A campaign runs one :func:`sweep_system` per (scenario, grid); when a
+    crashing pool makes *every* sweep fall back to serial, repeating the
+    same :class:`RuntimeWarning` dozens of times buries the signal.
+    :func:`~repro.cli.campaign.run_campaign` wraps its grid loop in this
+    scope so the warning fires once per campaign — the full tally stays
+    available as the ``shard.fallback_serial`` counter.  Direct
+    ``sweep_system`` calls (no scope) warn every time, as before.
+    """
+    token = {"warned": False}
+    _FALLBACK_SCOPES.append(token)
+    try:
+        yield token
+    finally:
+        _FALLBACK_SCOPES.remove(token)
+
+
 def _sweep_shard(
     topo,
     system_name: str,
@@ -881,9 +991,11 @@ def _sweep_shard(
         profile_engine=profile_engine,
     )
     specs = _selected_specs((collective,), algorithm_names)
-    return _evaluate_grid(
-        preset, cache, specs, (p,), vector_bytes, params, max_p, ppn
-    )
+    with obs.shard_scope():
+        with obs.span("shard.run", collective=collective, p=p):
+            return _evaluate_grid(
+                preset, cache, specs, (p,), vector_bytes, params, max_p, ppn
+            )
 
 
 def _run_shard_round(
@@ -980,11 +1092,17 @@ def _sweep_parallel(
                 (rec.collective, rec.algorithm, rec.p), []
             ).append(rec)
 
+    obs.inc("shard.cells", len(cells))
     pending = dict(shard_args)
     for _round in range(1 + _SHARD_RETRIES):
         if not pending:
             break
-        results, failed = _run_shard_round(pending, workers, timeout)
+        if _round:
+            obs.inc("shard.retries", len(pending))
+        with obs.span(
+            "shard.round", round=_round, shards=len(pending), workers=workers
+        ):
+            results, failed = _run_shard_round(pending, workers, timeout)
         for i, recs in results.items():
             _absorb(recs)
         pending = {i: shard_args[i] for i in sorted(failed)}
@@ -995,12 +1113,19 @@ def _sweep_parallel(
                 f"{len(lost)} shard(s) failed after {1 + _SHARD_RETRIES} "
                 f"pool rounds: {lost}"
             )
-        warnings.warn(
-            f"parallel sweep: {len(lost)} shard(s) crashed or timed out "
-            f"after {1 + _SHARD_RETRIES} pool rounds; evaluating {lost} "
-            "serially",
-            RuntimeWarning,
-        )
+        obs.inc("shard.fallback_serial", len(lost))
+        # inside a campaign scope the warning fires once; the counter above
+        # keeps the full tally either way
+        scope = _FALLBACK_SCOPES[-1] if _FALLBACK_SCOPES else None
+        if scope is None or not scope["warned"]:
+            if scope is not None:
+                scope["warned"] = True
+            warnings.warn(
+                f"parallel sweep: {len(lost)} shard(s) crashed or timed out "
+                f"after {1 + _SHARD_RETRIES} pool rounds; evaluating {lost} "
+                "serially",
+                RuntimeWarning,
+            )
         for i in sorted(pending):
             coll, p = cells[i]
             cell_specs = [s for s in specs if s.collective == coll]

@@ -39,6 +39,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.collectives.registry import (
     COLLECTIVES,
     AlgorithmSpec,
@@ -153,6 +154,30 @@ def verify_cell(
         >>> verify_cell("bcast", "bine", 12, 48).status  # pow2-only builder
         'skipped'
     """
+    with obs.span(
+        "verify.cell",
+        collective=collective,
+        algorithm=algorithm,
+        p=p,
+        n=n,
+        engine=engine,
+    ):
+        rec = _verify_cell_impl(
+            collective, algorithm, p, n, seeds, engine, respect_max_p
+        )
+    obs.inc(f"verify.cells.{rec.status}")
+    return rec
+
+
+def _verify_cell_impl(
+    collective: str,
+    algorithm: str,
+    p: int,
+    n: int,
+    seeds: Sequence[int],
+    engine: str,
+    respect_max_p: bool,
+) -> VerifyRecord:
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; have {ENGINES}")
     spec = spec_for(collective, algorithm)
@@ -271,14 +296,36 @@ def verify_grid(
     collectives = tuple(collectives) if collectives is not None else COLLECTIVES
     cells = _cells(collectives, tuple(node_counts), elems_per_rank, algorithms, max_p)
     seeds = tuple(seeds)
-    if workers is not None and workers > 1 and len(cells) > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(verify_cell, coll, name, p, n, seeds, engine)
-                for coll, name, p, n in cells
-            ]
-            return [f.result() for f in futures]
-    return [
-        verify_cell(coll, name, p, n, seeds, engine)
-        for coll, name, p, n in cells
-    ]
+    with obs.span(
+        "verify.grid",
+        collectives=",".join(collectives),
+        cells=len(cells),
+        engine=engine,
+        workers=workers or 1,
+    ):
+        if workers is not None and workers > 1 and len(cells) > 1:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(
+                        _verify_cell_shard, coll, name, p, n, seeds, engine
+                    )
+                    for coll, name, p, n in cells
+                ]
+                return [f.result() for f in futures]
+        return [
+            verify_cell(coll, name, p, n, seeds, engine)
+            for coll, name, p, n in cells
+        ]
+
+
+def _verify_cell_shard(
+    collective: str,
+    algorithm: str,
+    p: int,
+    n: int,
+    seeds: Sequence[int],
+    engine: str,
+) -> VerifyRecord:
+    """Pool worker: one verify cell inside a telemetry shard scope."""
+    with obs.shard_scope():
+        return verify_cell(collective, algorithm, p, n, seeds, engine)

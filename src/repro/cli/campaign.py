@@ -27,8 +27,15 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.analysis.summarize import DuelSummary, family_duel
-from repro.analysis.sweep import ProfileCache, SweepRecord, sweep_system, sweep_torus
+from repro.analysis.sweep import (
+    ProfileCache,
+    SweepRecord,
+    shard_fallback_scope,
+    sweep_system,
+    sweep_torus,
+)
 from repro.cli.manifest import CampaignManifest
 from repro.faults import FaultSpec
 from repro.runtime.errors import FaultSpecError
@@ -132,44 +139,58 @@ def run_campaign(
             "scenario; fault campaigns build one cache per scenario"
         )
     records: list[SweepRecord] = []
-    for scenario in scenarios:
-        scenario_cache = cache or ProfileCache(
-            preset,
-            placement=manifest.placement,
-            seed=manifest.seed,
-            busy_fraction=manifest.busy_fraction,
-            disk_dir=disk_dir,
-            profile_engine=profile_engine,
-            faults=scenario,
-        )
-        for grid in manifest.grids:
-            if grid.torus_dims is not None:
-                # torus grids build one schedule per catalog entry — cheap
-                # enough that the profile cache / worker knobs don't apply
-                records.extend(
-                    sweep_torus(
-                        preset,
-                        grid.torus_dims,
-                        grid.collectives,
-                        vector_bytes=grid.vector_bytes,
-                        algorithms=grid.algorithms,
-                        profile_engine=scenario_cache.engine,
-                    )
-                )
-                continue
-            records.extend(
-                sweep_system(
-                    preset,
-                    grid.collectives,
-                    node_counts=grid.node_counts,
-                    vector_bytes=grid.vector_bytes,
-                    algorithms=grid.algorithms,
-                    max_p=grid.max_p,
-                    ppn=grid.ppn,
-                    cache=scenario_cache,
-                    workers=workers,
-                )
+    with shard_fallback_scope(), obs.span(
+        "campaign.run",
+        campaign=manifest.name,
+        system=manifest.system,
+        scenarios=len(scenarios),
+        grids=len(manifest.grids),
+    ):
+        for scenario in scenarios:
+            scenario_cache = cache or ProfileCache(
+                preset,
+                placement=manifest.placement,
+                seed=manifest.seed,
+                busy_fraction=manifest.busy_fraction,
+                disk_dir=disk_dir,
+                profile_engine=profile_engine,
+                faults=scenario,
             )
+            for g, grid in enumerate(manifest.grids):
+                with obs.span(
+                    "campaign.grid",
+                    grid=g,
+                    scenario=scenario.label,
+                    collectives=",".join(grid.collectives),
+                ):
+                    if grid.torus_dims is not None:
+                        # torus grids build one schedule per catalog entry —
+                        # cheap enough that the profile cache / worker knobs
+                        # don't apply
+                        records.extend(
+                            sweep_torus(
+                                preset,
+                                grid.torus_dims,
+                                grid.collectives,
+                                vector_bytes=grid.vector_bytes,
+                                algorithms=grid.algorithms,
+                                profile_engine=scenario_cache.engine,
+                            )
+                        )
+                        continue
+                    records.extend(
+                        sweep_system(
+                            preset,
+                            grid.collectives,
+                            node_counts=grid.node_counts,
+                            vector_bytes=grid.vector_bytes,
+                            algorithms=grid.algorithms,
+                            max_p=grid.max_p,
+                            ppn=grid.ppn,
+                            cache=scenario_cache,
+                            workers=workers,
+                        )
+                    )
     result = CampaignResult(manifest, records)
     if manifest.summary is not None:
         result.summaries, result.skipped = duel_summaries(

@@ -41,6 +41,7 @@ __all__ = [
     "cmd_plot",
     "cmd_compare",
     "cmd_tune",
+    "cmd_stats",
 ]
 
 
@@ -769,6 +770,108 @@ def cmd_tune(args) -> int:
         print(fmt.tune_selections_text(answers))
     elif not args.output:
         _emit(fmt.tune_table_text(table), None)
+    return 0
+
+
+# -- repro stats -------------------------------------------------------------
+
+
+def _summarize_trace(name: str, data: dict) -> dict:
+    """Fold a raw trace file into the sidecar's stats shape.
+
+    No counters: the registry totals for the traced run only live in the
+    ``.stats.json`` the session wrote next to the trace.
+    """
+    from repro.obs import span_aggregates
+
+    events = [e for e in data.get("traceEvents", ()) if isinstance(e, dict)]
+    pids = {e.get("pid") for e in events}
+    return {
+        "trace": name,
+        "events": len(events),
+        "shards": max(0, len(pids) - 1),
+        "spans": span_aggregates(events),
+    }
+
+
+def cmd_stats(args) -> int:
+    """``repro stats`` — summarize traces/sidecars, or inspect live caches.
+
+    FILE is either a Chrome trace written by ``--trace``/``REPRO_TRACE``
+    or its ``.stats.json`` sidecar.  Exit codes: 0 ok, 1 ``--validate``
+    found schema violations, 2 usage error.
+
+    Example::
+
+        $ repro campaign campaigns/table3_lumi.toml --trace run.trace.json
+        $ repro stats run.trace.stats.json
+        $ repro stats run.trace.json --validate
+        $ repro stats --caches
+    """
+    import json as _json
+
+    from repro import obs
+    from repro.analysis.sweep import memo_cache_sizes
+
+    if args.caches:
+        if args.file or args.validate:
+            return _fail(
+                "--caches reads this process's live memo caches and does "
+                "not combine with FILE or --validate"
+            )
+        sizes = memo_cache_sizes()
+        text = (
+            _json.dumps(sizes, indent=2, sort_keys=True)
+            if args.format == "json"
+            else fmt.cache_sizes_text(sizes)
+        )
+        _emit(text, args.output)
+        return 0
+    if not args.file:
+        return _fail("stats needs a FILE (trace or .stats.json) or --caches")
+    try:
+        data = _json.loads(Path(args.file).read_text())
+    except (OSError, _json.JSONDecodeError) as exc:
+        return _fail(f"{args.file}: cannot read ({exc})")
+    if isinstance(data, dict) and data.get("schema") == obs.STATS_SCHEMA:
+        if args.validate:
+            return _fail(
+                f"{args.file} is a stats sidecar; --validate checks the "
+                "trace file itself"
+            )
+        doc = data
+    else:
+        errors = obs.validate_trace(data)
+        if args.validate:
+            if errors:
+                print(
+                    f"error: {args.file}: {len(errors)} schema violation(s)",
+                    file=sys.stderr,
+                )
+                for err in errors[:20]:
+                    print(f"  {err}", file=sys.stderr)
+                if len(errors) > 20:
+                    print(f"  ... ({len(errors) - 20} more)", file=sys.stderr)
+                return 1
+            events = data["traceEvents"]
+            pids = {e.get("pid") for e in events if isinstance(e, dict)}
+            print(
+                f"{args.file}: ok ({len(events)} events, "
+                f"{len(pids)} process(es))"
+            )
+            return 0
+        if errors:
+            return _fail(
+                f"{args.file}: not a valid trace or stats file "
+                f"({errors[0]}; --validate lists everything)"
+            )
+        doc = _summarize_trace(Path(args.file).name, data)
+    text = (
+        fmt.trace_stats_json(doc)
+        if args.format == "json"
+        else fmt.trace_stats_text(doc)
+    )
+    _emit(text, args.output)
     return 0
 
 

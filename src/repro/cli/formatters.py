@@ -47,6 +47,9 @@ __all__ = [
     "diff_records_markdown",
     "tune_table_text",
     "tune_selections_text",
+    "cache_sizes_text",
+    "trace_stats_text",
+    "trace_stats_json",
     "schedule_report",
     "algorithms_text",
     "algorithms_markdown",
@@ -317,6 +320,81 @@ def tune_selections_text(answers: Sequence[tuple[dict, object]]) -> str:
         margin = f" margin {sel.margin:.3f}x" if sel.margin is not None else ""
         lines.append(f"{q:<40} -> {sel.algorithm} ({sel.family}){margin}{cell}")
     return "\n".join(lines)
+
+
+# -- telemetry stats ---------------------------------------------------------
+
+
+def cache_sizes_text(sizes) -> str:
+    """Live memo-cache sizes (``repro stats --caches``), one row per cache.
+
+    Example::
+
+        >>> print(cache_sizes_text({"a.cache": 3, "b.cache": 0}))
+        a.cache         3
+        b.cache         0
+        total           3
+    """
+    if not sizes:
+        return "no registered caches"
+    width = max(max(len(n) for n in sizes), len("total"))
+    lines = [f"{name:<{width}}  {sizes[name]:>7}" for name in sorted(sizes)]
+    lines.append(f"{'total':<{width}}  {sum(sizes.values()):>7}")
+    return "\n".join(lines)
+
+
+def _metric_rows(title: str, values) -> list[str]:
+    lines = ["", f"{title}:"]
+    width = max(len(n) for n in values)
+    for name in sorted(values):
+        lines.append(f"  {name:<{width}}  {float(values[name]):>12g}")
+    return lines
+
+
+def trace_stats_text(doc) -> str:
+    """A stats document (``.stats.json`` sidecar or trace summary) as text.
+
+    Example::
+
+        >>> print(trace_stats_text({"trace": "t.json", "events": 2,
+        ...     "counters": {"cache.profile.hit": 5},
+        ...     "spans": {"sweep.system": {"count": 1, "total_us": 1500.0}}}))
+        trace: t.json  events: 2
+        <BLANKLINE>
+        counters:
+          cache.profile.hit             5
+        <BLANKLINE>
+        spans:
+          name          count       total
+          sweep.system      1      1.50ms
+    """
+    head = []
+    if doc.get("trace"):
+        head.append(f"trace: {doc['trace']}")
+    head.append(f"events: {doc.get('events', 0)}")
+    if doc.get("shards"):
+        head.append(f"shards: {doc['shards']}")
+    lines = ["  ".join(head)]
+    for title in ("counters", "gauges"):
+        if doc.get(title):
+            lines += _metric_rows(title, doc[title])
+    spans = doc.get("spans") or {}
+    if spans:
+        lines += ["", "spans:"]
+        width = max(max(len(n) for n in spans), len("name"))
+        lines.append(f"  {'name':<{width}}  {'count':>5}  {'total':>10}")
+        for name in sorted(spans):
+            agg = spans[name]
+            lines.append(
+                f"  {name:<{width}}  {agg['count']:>5}  "
+                f"{agg['total_us'] / 1000.0:>8.2f}ms"
+            )
+    return "\n".join(lines)
+
+
+def trace_stats_json(doc) -> str:
+    """The stats document as deterministic JSON (``--format json``)."""
+    return json.dumps(doc, indent=2, sort_keys=True)
 
 
 # -- schedules ---------------------------------------------------------------

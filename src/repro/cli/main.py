@@ -22,8 +22,10 @@ Example::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
+from repro import obs
 from repro.cli import commands
 from repro.runtime.errors import (
     CacheCorruptionError,
@@ -72,12 +74,23 @@ def _add_output(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trace(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write a Chrome-trace-event JSON of this run to FILE (open in "
+        "Perfetto) plus a <stem>.stats.json metrics sidecar; records stay "
+        "byte-identical with tracing on or off (REPRO_TRACE sets the path "
+        "when this flag is omitted; see docs/observability.md)",
+    )
+
+
 def _add_execution_knobs(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers", type=int, metavar="N",
         help="shard (collective, p) cells over N worker processes; "
         "records are identical to a serial run",
     )
+    _add_trace(parser)
     parser.add_argument(
         "--disk-cache", metavar="DIR",
         help="persist schedule profiles under DIR across runs "
@@ -245,6 +258,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="CI smoke grid: p=4,8 and one seed unless overridden")
     p.add_argument("--workers", type=int, metavar="N",
                    help="shard cells over N worker processes")
+    _add_trace(p)
     p.add_argument("--format",
                    choices=("summary", "table", "json", "markdown"),
                    default="summary",
@@ -376,13 +390,51 @@ def build_parser() -> argparse.ArgumentParser:
     _add_output(p)
     p.set_defaults(func=commands.cmd_campaign)
 
+    # stats
+    p = sub.add_parser(
+        "stats",
+        help="summarize a trace/stats file, or inspect the live memo caches",
+        description="Post-run observability: FILE is a Chrome trace written "
+        "by --trace/REPRO_TRACE or its .stats.json sidecar; prints counter "
+        "totals and per-span aggregates.  --validate checks a trace against "
+        "the documented schema (exit 1 on violations); --caches prints the "
+        "current size of every registered memo cache instead.",
+    )
+    p.add_argument("file", nargs="?", metavar="FILE",
+                   help="trace JSON or .stats.json sidecar to summarize")
+    p.add_argument("--caches", action="store_true",
+                   help="print live memo-cache sizes (memo_cache_sizes()) "
+                   "instead of reading a file")
+    p.add_argument("--validate", action="store_true",
+                   help="check FILE (a trace) against the trace-event "
+                   "schema; exit 1 and list violations when unsound")
+    p.add_argument("--format", choices=("table", "json"), default="table",
+                   help="table: aligned text (default); json: raw dict")
+    _add_output(p)
+    p.set_defaults(func=commands.cmd_stats)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``repro`` / ``python -m repro``; returns exit code."""
     args = build_parser().parse_args(argv)
+    # --trace FILE (or REPRO_TRACE) wraps the whole command in a trace
+    # session; commands without the knob (list, schedule, stats, ...) never
+    # trace, so `repro stats` can't clobber the file it is reading
+    trace_path = getattr(args, "trace", None) if hasattr(args, "trace") else None
+    if trace_path is None and hasattr(args, "trace"):
+        trace_path = os.environ.get(obs.TRACE_ENV) or None
     try:
+        if trace_path:
+            with obs.trace_session(trace_path):
+                code = args.func(args)
+            print(
+                f"# trace: wrote {trace_path} and "
+                f"{obs.sidecar_path(trace_path)}",
+                file=sys.stderr,
+            )
+            return code
         return args.func(args)
     except tuple(EXIT_CODES) as exc:
         # single-line diagnostic naming the failure class, then the

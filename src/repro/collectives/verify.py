@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.core.blocks import Partition
 from repro.runtime.buffers import RankBuffers
 from repro.runtime.compiled import (
@@ -70,6 +71,7 @@ def _patterns(p: int, n: int, seed: int) -> np.ndarray:
     key = (p, n, seed)
     pats = _PATTERN_CACHE.get(key)
     if pats is None:
+        obs.inc("cache.pattern.miss")
         pats = np.vstack([_pattern(r, n, seed) for r in range(p)])
         # freeze the entry: expected_state hands out views of it, and a
         # caller mutating one must get a loud error, not a corrupted cache
@@ -77,6 +79,8 @@ def _patterns(p: int, n: int, seed: int) -> np.ndarray:
         while len(_PATTERN_CACHE) >= _PATTERN_CACHE_MAX:
             _PATTERN_CACHE.pop(next(iter(_PATTERN_CACHE)))
         _PATTERN_CACHE[key] = pats
+    else:
+        obs.inc("cache.pattern.hit")
     return pats
 
 
@@ -328,12 +332,21 @@ def compiled_plan_for(
     key = (collective, algorithm, p, n, root, op)
     hit = _PLAN_CACHE.get(key)
     if hit is None:
-        schedule = build(collective, algorithm, p, n, root, op)
+        obs.inc("cache.plan.miss")
+        with obs.span(
+            "schedule.build", collective=collective, algorithm=algorithm, p=p
+        ):
+            schedule = build(collective, algorithm, p, n, root, op)
         stub = Schedule(p=schedule.p, steps=[], meta=dict(schedule.meta))
-        hit = (stub, compile_plan(schedule))
+        with obs.span(
+            "lower.plan", collective=collective, algorithm=algorithm, p=p, n=n
+        ):
+            hit = (stub, compile_plan(schedule))
         while len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
             _PLAN_CACHE.pop(next(iter(_PLAN_CACHE)))
         _PLAN_CACHE[key] = hit
+    else:
+        obs.inc("cache.plan.hit")
     return hit
 
 

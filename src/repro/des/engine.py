@@ -41,6 +41,7 @@ import heapq
 import random
 from dataclasses import dataclass
 
+from repro import obs
 from repro.faults import (
     NIC_DERATE,
     DegradedTopology,
@@ -288,6 +289,7 @@ class _Resource:
     __slots__ = (
         "key", "kind", "cls", "cunit", "factor", "queue", "head",
         "units_done", "serial", "serving", "serve_start", "serve_left",
+        "busy_s",
     )
 
     def __init__(self, key, kind: str, cls: str | None, cunit: float, factor: float):
@@ -303,6 +305,7 @@ class _Resource:
         self.serving: "_Entry | None" = None
         self.serve_start = 0.0
         self.serve_left = 0.0
+        self.busy_s = 0.0  # wall-clock spent serving (telemetry only)
 
     def service_time(self, units: float) -> float:
         if self.factor <= 0.0:
@@ -339,6 +342,7 @@ class _Resource:
             done = min(elapsed * self.factor / self.cunit, self.serve_left)
             self.serve_left -= done
             self.units_done += done
+            self.busy_s += elapsed
         self.serial += 1  # in-flight finish event is now stale
 
     def resume(self, now: float, heap: list, seq: list) -> None:
@@ -409,6 +413,11 @@ class _Simulation:
         self.ports = min(params.ports, int(profile.meta.get("ports_used", 1)))
         self.force_event_loop = force_event_loop
         self.stalls: list[StallRecord] = []
+        # telemetry tallies (pure bookkeeping — never feed back into times)
+        self.events_processed = 0
+        self.preemptions = 0
+        self.reroutes = 0
+        self.link_busy: dict = {}  # link key -> seconds serving, perturbed phases
 
     # -- top level ---------------------------------------------------------
 
@@ -532,12 +541,16 @@ class _Simulation:
                 StallRecord(step=s, src_node=flow.src_node,
                             dst_node=flow.dst_node, at=now)
             )
+            obs.instant(
+                "des.stall", step=s, src=flow.src_node, dst=flow.dst_node
+            )
             for res, entry in flow.link_entries + flow.port_entries:
                 if entry.served or entry.cancelled:
                     continue
                 entry.cancelled = True
                 settle(entry)
                 if res.serving is entry:
+                    self.preemptions += 1
                     res.preempt(now)
                     res.serving = None
                     res.start_next(now, heap, seq)
@@ -558,6 +571,7 @@ class _Simulation:
                 entry.cancelled = True
                 settle(entry)
                 if res.serving is entry:
+                    self.preemptions += 1
                     res.preempt(now)
                     res.serving = None
                     res.start_next(now, heap, seq)
@@ -572,6 +586,10 @@ class _Simulation:
                 attach(flow, res, rem / link.width, is_link=True)
                 if res.serving is None:
                     res.start_next(now, heap, seq)
+            self.reroutes += 1
+            obs.instant(
+                "des.reroute", step=s, src=flow.src_node, dst=flow.dst_node
+            )
 
         def apply_mid_phase(now: float):
             changed = fabric.apply_next()
@@ -603,6 +621,8 @@ class _Simulation:
                         else fabric.port_factor(self.node_of[res.key[1]])
                     )
                     if new_f != res.factor:
+                        if res.serving is not None:
+                            self.preemptions += 1
                         res.preempt(now)
                         res.factor = new_f
                         res.resume(now, heap, seq)
@@ -639,19 +659,32 @@ class _Simulation:
             event = fabric.pending_event()
             if event is not None and event.at <= t_fin:
                 perturbed = True
+                self.events_processed += 1
                 apply_mid_phase(max(t0, event.at))
                 continue
             t_fin, _, res, serial = heapq.heappop(heap)
             if serial != res.serial or res.serving is None:
                 continue  # stale after a preemption
+            self.events_processed += 1
             entry = res.serving
             entry.served = True
             res.units_done += entry.units
+            res.busy_s += t_fin - res.serve_start
             settle(entry)
             res.serving = None
             t_end = t_fin
             res.start_next(t_fin, heap, seq)
 
+        if perturbed:
+            # per-link busy time: what the fabric actually spent serving
+            # this phase's flows — the contention view a trace surfaces
+            for key in sorted(resources, key=repr):
+                res = resources[key]
+                if res.kind == "link" and res.busy_s > 0.0:
+                    label = str(res.key[1])
+                    self.link_busy[label] = (
+                        self.link_busy.get(label, 0.0) + res.busy_s
+                    )
         if not perturbed:
             # Unperturbed phases report busy periods straight from the unit
             # bookkeeping — the same sums, products and maxes the analytic
@@ -697,4 +730,28 @@ def simulate_profile(
         table, profile, topo, mapping, params, timeline, n_elems,
         force_event_loop=force_event_loop,
     )
-    return sim.run()
+    with obs.span(
+        "des.simulate", steps=len(profile.steps), timeline=timeline.label
+    ) as sim_span:
+        result = sim.run()
+        sim_span.set(
+            events=sim.events_processed,
+            preemptions=sim.preemptions,
+            reroutes=sim.reroutes,
+            stalls=len(result.stalls),
+        )
+    obs.inc("des.simulations")
+    if sim.events_processed:
+        obs.inc("des.events", sim.events_processed)
+    if sim.preemptions:
+        obs.inc("des.preemptions", sim.preemptions)
+    if sim.reroutes:
+        obs.inc("des.reroutes", sim.reroutes)
+    if result.stalls:
+        obs.inc("des.stalls", len(result.stalls))
+    if sim.link_busy and obs.tracing_enabled():
+        top = sorted(sim.link_busy.items(), key=lambda kv: -kv[1])[:8]
+        obs.counter_event(
+            "des.link_busy", {k: round(v, 9) for k, v in top}
+        )
+    return result

@@ -27,6 +27,7 @@ import hashlib
 import warnings
 from typing import Sequence
 
+from repro import obs
 from repro.des.engine import simulate_profile
 from repro.model.analytic import ANALYTIC_PROFILES, ANALYTIC_THRESHOLD
 from repro.model.compiled import transfer_table_for
@@ -99,6 +100,7 @@ def des_records(
         )
         hit = _SIM_CACHE.get(key)
         if hit is None:
+            obs.inc("cache.sim.miss")
             result = simulate_profile(
                 table, profile, cache.topo, mapping, params, timeline,
                 nb / params.itemsize,
@@ -117,6 +119,8 @@ def des_records(
             while len(_SIM_CACHE) >= _SIM_CACHE_MAX:
                 _SIM_CACHE.pop(next(iter(_SIM_CACHE)))
             hit = _SIM_CACHE[key] = (result.time, result.stalled)
+        else:
+            obs.inc("cache.sim.hit")
         time, stalled = hit
         scale = (nb / params.itemsize) / profile.n_build
         records.append(

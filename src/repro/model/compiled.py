@@ -48,6 +48,7 @@ from itertools import chain
 
 import numpy as np
 
+from repro import obs
 from repro.model.cost import CostParams
 from repro.model.simulator import (
     PIPELINE_CHUNKS,
@@ -217,14 +218,22 @@ def transfer_table_for(spec, p: int) -> TransferTable | None:
     """
     key = (spec.collective, spec.name, p)
     if key in _TABLE_CACHE:
+        obs.inc("cache.table.hit")
         return _TABLE_CACHE[key]
+    obs.inc("cache.table.miss")
     try:
-        with schedule_validation(False):
-            schedule = spec.build(p, p)
+        with obs.span(
+            "schedule.build", collective=spec.collective, algorithm=spec.name, p=p
+        ):
+            with schedule_validation(False):
+                schedule = spec.build(p, p)
     except ValueError:
         table = None
     else:
-        table = lower_schedule(schedule)
+        with obs.span(
+            "lower.schedule", collective=spec.collective, algorithm=spec.name, p=p
+        ):
+            table = lower_schedule(schedule)
     while len(_TABLE_CACHE) >= _TABLE_CACHE_MAX:
         _TABLE_CACHE.pop(next(iter(_TABLE_CACHE)))
     _TABLE_CACHE[key] = table

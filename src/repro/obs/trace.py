@@ -1,0 +1,381 @@
+"""Chrome-trace-event tracing: spans, instants, counters, shard merge.
+
+A *trace session* (``begin_session``/``end_session``, usually via the
+:func:`trace_session` context manager wired to ``--trace PATH`` /
+``REPRO_TRACE``) collects events in memory and writes two files at the
+end: the Chrome trace itself (open in Perfetto / ``chrome://tracing``)
+and a ``<stem>.stats.json`` sidecar with counter totals and per-span
+aggregates.  With no session active, :func:`span` returns a shared no-op
+object — the disabled cost is one global read plus building the kwargs
+dict, which `benchmarks/bench_perf_sweep.py` holds under 3% of the warm
+evaluation wall-clock.
+
+Events follow the Chrome trace-event JSON schema (see
+``docs/observability.md``): every event carries ``name``/``ph``/``pid``;
+spans are balanced ``B``/``E`` pairs per ``(pid, tid)`` track with
+timestamps in microseconds relative to the session start.
+
+Worker shards compose through a spool directory: the parent session
+exports ``REPRO_TRACE_SPOOL`` and its clock origin ``REPRO_TRACE_T0``;
+a pool worker entering :func:`shard_scope` redirects its events to a
+spool file (tagged with the worker pid) plus a metrics-delta sidecar,
+and the parent folds both back in when the session ends.  Timestamps
+stay comparable because ``perf_counter_ns`` reads the system-wide
+monotonic clock, which fork/spawn children share.
+
+Example (in-memory session — no files)::
+
+    >>> state = begin_session(None)
+    >>> with span("demo.outer", p=4) as sp:
+    ...     sp.set(cells=2)
+    >>> trace_doc, stats_doc = end_session()
+    >>> [ev["ph"] for ev in trace_doc["traceEvents"] if ev["name"] == "demo.outer"]
+    ['B', 'E']
+    >>> stats_doc["spans"]["demo.outer"]["count"]
+    1
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Mapping
+
+from repro.obs import metrics as _metrics
+
+__all__ = [
+    "TRACE_ENV",
+    "SPOOL_ENV",
+    "T0_ENV",
+    "TRACE_SCHEMA",
+    "tracing_enabled",
+    "span",
+    "instant",
+    "counter_event",
+    "begin_session",
+    "end_session",
+    "trace_session",
+    "shard_scope",
+]
+
+#: environment variable equivalent to passing ``--trace PATH``
+TRACE_ENV = "REPRO_TRACE"
+#: exported by a live session so pool workers find the spool directory
+SPOOL_ENV = "REPRO_TRACE_SPOOL"
+#: the parent session's ``perf_counter_ns`` origin, for aligned shard ts
+T0_ENV = "REPRO_TRACE_T0"
+#: schema identifier stamped into the trace file's ``otherData``
+TRACE_SCHEMA = "repro/trace"
+
+
+class _TraceState:
+    """One process's view of the active session (None when disabled)."""
+
+    __slots__ = ("events", "t0_ns", "pid", "path", "spool_dir", "metrics_base")
+
+
+_STATE: _TraceState | None = None
+
+
+def tracing_enabled() -> bool:
+    """True while a trace session is collecting events in this process."""
+    return _STATE is not None
+
+
+def _now_us(state: _TraceState) -> float:
+    return (time.perf_counter_ns() - state.t0_ns) / 1000.0
+
+
+class _NoopSpan:
+    """What :func:`span` hands out when tracing is off — does nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+_NOOP = _NoopSpan()
+
+
+class _Span:
+    """A live span: ``B`` event on creation, ``E`` event on exit.
+
+    ``set(**attrs)`` attaches result attributes (cell counts, event
+    tallies) to the closing ``E`` event.
+    """
+
+    __slots__ = ("_state", "_name", "_end_args")
+
+    def __init__(self, state: _TraceState, name: str, attrs: dict):
+        self._state = state
+        self._name = name
+        self._end_args: dict | None = None
+        event = {
+            "name": name,
+            "cat": name.partition(".")[0],
+            "ph": "B",
+            "ts": _now_us(state),
+            "pid": state.pid,
+            "tid": 1,
+        }
+        if attrs:
+            event["args"] = attrs
+        state.events.append(event)
+
+    def __enter__(self) -> "_Span":
+        return self
+
+    def set(self, **attrs) -> None:
+        if self._end_args is None:
+            self._end_args = {}
+        self._end_args.update(attrs)
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        event = {
+            "name": self._name,
+            "cat": self._name.partition(".")[0],
+            "ph": "E",
+            "ts": _now_us(self._state),
+            "pid": self._state.pid,
+            "tid": 1,
+        }
+        if self._end_args:
+            event["args"] = self._end_args
+        self._state.events.append(event)
+        return False
+
+
+def span(name: str, **attrs):
+    """A context manager timing ``name``; no-op unless a session is live.
+
+    ``attrs`` must be JSON-serializable (strings/numbers) and land on the
+    opening ``B`` event; use ``.set(...)`` inside the block for results
+    that are only known at the end.
+    """
+    state = _STATE
+    if state is None:
+        return _NOOP
+    return _Span(state, name, attrs)
+
+
+def instant(name: str, **args) -> None:
+    """A zero-duration marker event (``ph: "i"``), e.g. a DES reroute."""
+    state = _STATE
+    if state is None:
+        return
+    event = {
+        "name": name,
+        "cat": name.partition(".")[0],
+        "ph": "i",
+        "ts": _now_us(state),
+        "pid": state.pid,
+        "tid": 1,
+        "s": "t",
+    }
+    if args:
+        event["args"] = args
+    state.events.append(event)
+
+
+def counter_event(name: str, values: Mapping[str, float]) -> None:
+    """A Chrome counter sample (``ph: "C"``), e.g. per-link busy seconds."""
+    state = _STATE
+    if state is None:
+        return
+    state.events.append(
+        {
+            "name": name,
+            "cat": name.partition(".")[0],
+            "ph": "C",
+            "ts": _now_us(state),
+            "pid": state.pid,
+            "tid": 1,
+            "args": dict(values),
+        }
+    )
+
+
+def begin_session(path: str | os.PathLike | None) -> _TraceState:
+    """Start collecting events; ``path=None`` keeps everything in memory.
+
+    With a path, a ``<path>.spool/`` directory is created and exported
+    through ``REPRO_TRACE_SPOOL`` so worker shards can contribute.
+    """
+    global _STATE
+    if _STATE is not None:
+        raise RuntimeError("a trace session is already active")
+    state = _TraceState()
+    state.events = []
+    state.t0_ns = time.perf_counter_ns()
+    state.pid = os.getpid()
+    state.path = Path(path) if path is not None else None
+    state.spool_dir = None
+    state.metrics_base = dict(_metrics._COUNTERS)
+    if state.path is not None:
+        state.spool_dir = Path(str(state.path) + ".spool")
+        state.spool_dir.mkdir(parents=True, exist_ok=True)
+        os.environ[SPOOL_ENV] = str(state.spool_dir)
+        os.environ[T0_ENV] = str(state.t0_ns)
+    _STATE = state
+    return state
+
+
+def end_session() -> tuple[dict, dict]:
+    """Finalize the session; returns ``(trace_doc, stats_doc)``.
+
+    Harvests any shard spool files, folds shard metric deltas into the
+    session counters, tags every process with a ``process_name`` metadata
+    event, and — when the session has a path — writes the trace file and
+    its ``.stats.json`` sidecar.
+    """
+    global _STATE
+    state = _STATE
+    if state is None:
+        raise RuntimeError("no active trace session")
+    _STATE = None
+
+    shard_events: list[dict] = []
+    shard_deltas: dict[str, float] = {}
+    if state.spool_dir is not None:
+        os.environ.pop(SPOOL_ENV, None)
+        os.environ.pop(T0_ENV, None)
+        for spool_file in sorted(state.spool_dir.glob("*.jsonl")):
+            for line in spool_file.read_text().splitlines():
+                if line:
+                    shard_events.append(json.loads(line))
+        for delta_file in sorted(state.spool_dir.glob("*.metrics.json")):
+            for name, value in json.loads(delta_file.read_text()).items():
+                shard_deltas[name] = shard_deltas.get(name, 0) + value
+        shutil.rmtree(state.spool_dir, ignore_errors=True)
+    shard_pids = sorted({ev["pid"] for ev in shard_events})
+
+    session_counters: dict[str, float] = {}
+    for name, value in _metrics._COUNTERS.items():
+        delta = value - state.metrics_base.get(name, 0)
+        if delta:
+            session_counters[name] = delta
+    for name, value in shard_deltas.items():
+        session_counters[name] = session_counters.get(name, 0) + value
+
+    events = state.events + shard_events
+    # stable sort: per-(pid, tid) event order (monotonic within each
+    # source) survives, so B/E nesting stays balanced after the merge
+    events.sort(key=lambda ev: ev.get("ts", 0.0))
+    meta = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": state.pid,
+            "tid": 0,
+            "args": {"name": "repro"},
+        }
+    ]
+    for i, pid in enumerate(shard_pids):
+        meta.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"repro shard {i}"},
+            }
+        )
+    trace_doc = {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": TRACE_SCHEMA, "version": 1},
+    }
+
+    from repro.obs import stats as _stats
+
+    stats_doc = {
+        "schema": _stats.STATS_SCHEMA,
+        "version": 1,
+        "trace": state.path.name if state.path is not None else None,
+        "events": len(events),
+        "shards": len(shard_pids),
+        "counters": {k: session_counters[k] for k in sorted(session_counters)},
+        "gauges": _metrics.gauges(),
+        "spans": _stats.span_aggregates(events),
+    }
+
+    if state.path is not None:
+        state.path.parent.mkdir(parents=True, exist_ok=True)
+        state.path.write_text(json.dumps(trace_doc) + "\n")
+        _stats.sidecar_path(state.path).write_text(
+            json.dumps(stats_doc, indent=2) + "\n"
+        )
+    return trace_doc, stats_doc
+
+
+@contextmanager
+def trace_session(path: str | os.PathLike | None):
+    """``begin_session``/``end_session`` as a with-block (CLI entry)."""
+    begin_session(path)
+    try:
+        yield
+    finally:
+        end_session()
+
+
+@contextmanager
+def shard_scope():
+    """Redirect a pool worker's events to the parent session's spool.
+
+    A no-op unless ``REPRO_TRACE_SPOOL`` is exported by a live parent
+    session *and* this process is not the one that started it (forked
+    workers inherit the parent's state object; its copied event list
+    would never be harvested).  On exit the shard's events are flushed
+    to a uniquely-named spool file together with the metric *deltas*
+    this scope produced.
+    """
+    global _STATE
+    spool = os.environ.get(SPOOL_ENV)
+    if not spool or (_STATE is not None and _STATE.pid == os.getpid()):
+        yield
+        return
+    inherited = _STATE
+    state = _TraceState()
+    state.events = []
+    state.t0_ns = int(os.environ.get(T0_ENV, time.perf_counter_ns()))
+    state.pid = os.getpid()
+    state.path = None
+    state.spool_dir = Path(spool)
+    state.metrics_base = dict(_metrics._COUNTERS)
+    _STATE = state
+    try:
+        yield
+    finally:
+        _STATE = inherited
+        _flush_shard(state)
+
+
+def _flush_shard(state: _TraceState) -> None:
+    delta: dict[str, float] = {}
+    for name, value in _metrics._COUNTERS.items():
+        d = value - state.metrics_base.get(name, 0)
+        if d:
+            delta[name] = d
+    try:
+        fd, path = tempfile.mkstemp(
+            dir=state.spool_dir, prefix=f"shard-{state.pid}-", suffix=".jsonl"
+        )
+    except OSError:
+        return  # session ended (spool removed) while this shard ran
+    with os.fdopen(fd, "w") as fh:
+        for event in state.events:
+            fh.write(json.dumps(event) + "\n")
+    if delta:
+        Path(path + ".metrics.json").write_text(json.dumps(delta))

@@ -33,6 +33,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.runtime.errors import TuneArtifactError, TuneQueryError
 from repro.tune.tables import DecisionTable, SubTable
 
@@ -109,7 +110,10 @@ def _compiled(table: DecisionTable) -> _CompiledTable:
     key = (id(table), table.records_digest, table.record_count)
     hit = _SERVE_CACHE.get(key)
     if hit is None:
+        obs.inc("cache.serve.miss")
         hit = _SERVE_CACHE[key] = _CompiledTable(table)
+    else:
+        obs.inc("cache.serve.hit")
     return hit
 
 

@@ -44,6 +44,7 @@ import json
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro import obs
 from repro.analysis.summarize import best_algorithm_cells
 from repro.analysis.sweep import SweepRecord
 from repro.report.artifacts import records_digest
@@ -279,6 +280,13 @@ def build_decision_table(
         >>> table.tables[0].margin
         ((2.0,),)
     """
+    with obs.span("tune.build", records=len(records), table=name):
+        return _build_decision_table(records, name, source)
+
+
+def _build_decision_table(
+    records: Sequence[SweepRecord], name: str, source: str
+) -> DecisionTable:
     groups: dict[tuple[str, str, str, int], list[SweepRecord]] = {}
     for r in records:
         if r.stalled:
