@@ -52,6 +52,14 @@ replays the timeline's mid-run failures/heals while executing the
 lowered transfer program, and its records carry the timeline label plus
 a ``stalled`` flag.  With an empty timeline the DES engine reproduces
 the analytic engines bit for bit (the calibration contract).
+
+``sweep_system(..., cell_sink=...)`` wires the sweep into the campaign
+record journal (:mod:`repro.checkpoint`): every finished ``(collective,
+p)`` cell is offered to the sink (which journals it and may raise a
+drain), already-journaled cells are skipped on resume, and — because
+placements are pre-sampled in serial first-touch order exactly like the
+parallel path — the resumed run's records are byte-identical to an
+uninterrupted one, serial or sharded.
 """
 
 from __future__ import annotations
@@ -88,6 +96,8 @@ from repro.model.simulator import (
 )
 from repro.faults import DegradedTopology, FaultSpec
 from repro import obs
+from repro.checkpoint.drain import drain_requested
+from repro.runtime.env import env_flag, env_float
 from repro.runtime.errors import (
     CacheCorruptionError,
     DESEngineError,
@@ -754,6 +764,89 @@ def _evaluate_grid(
     return records
 
 
+def _grid_cells(
+    cache: ProfileCache,
+    specs: Sequence[AlgorithmSpec],
+    node_counts: Sequence[int],
+    max_p: dict[str, int] | None,
+    ppn: int,
+) -> list[tuple[str, int]]:
+    """The grid's ``(collective, p)`` cells, pre-sampling every mapping.
+
+    Walks the grid in the exact first-touch order of the serial sweep so
+    scheduler allocations match it draw for draw — the property that
+    makes cell results order-independent, and therefore both parallel
+    execution and journal resume provably record-identical to serial.
+    """
+    cells: list[tuple[str, int]] = []
+    for spec in specs:
+        for p in node_counts:
+            if max_p and p > max_p.get(spec.collective, p):
+                continue
+            if not cache.applicable(spec, p, ppn):
+                continue
+            cache.mapping_for(p, ppn)
+            if (spec.collective, p) not in cells:
+                cells.append((spec.collective, p))
+    return cells
+
+
+def _reassemble(
+    grouped: dict[tuple[str, str, int], list[SweepRecord]],
+    specs: Sequence[AlgorithmSpec],
+    node_counts: Sequence[int],
+) -> list[SweepRecord]:
+    """Flatten per-cell record groups back into serial sweep order."""
+    records: list[SweepRecord] = []
+    for spec in specs:
+        for p in node_counts:
+            records.extend(grouped.get((spec.collective, spec.name, p), ()))
+    return records
+
+
+def _evaluate_cells(
+    preset: SystemPreset,
+    cache: ProfileCache,
+    specs: Sequence[AlgorithmSpec],
+    node_counts: Sequence[int],
+    vector_bytes: Sequence[int],
+    params: CostParams,
+    max_p: dict[str, int] | None,
+    ppn: int,
+    cell_sink,
+) -> list[SweepRecord]:
+    """Serial sweep, cell by cell, streaming each into a journal sink.
+
+    The journaled counterpart of :func:`_evaluate_grid`: mappings are
+    pre-sampled in serial first-touch order, each ``(collective, p)``
+    cell is evaluated (or served from the sink on resume) atomically,
+    and the reassembled records are identical to the plain serial
+    sweep's.  Polls :func:`~repro.checkpoint.drain.drain_requested`
+    between cells so SIGINT/SIGTERM stop the run at a journaled
+    boundary.
+    """
+    cells = _grid_cells(cache, specs, node_counts, max_p, ppn)
+    cell_sink.plan(cells)
+    grouped: dict[tuple[str, str, int], list[SweepRecord]] = {}
+    for coll, p in cells:
+        sig = drain_requested()
+        if sig is not None:
+            raise cell_sink.interrupted_error(sig)
+        recs = cell_sink.lookup(coll, p)
+        if recs is None:
+            cell_specs = [s for s in specs if s.collective == coll]
+            recs = _evaluate_grid(
+                preset, cache, cell_specs, (p,), vector_bytes, params,
+                max_p, ppn,
+            )
+            cell_sink.store(coll, p, recs)
+        for rec in recs:
+            grouped.setdefault(
+                (rec.collective, rec.algorithm, rec.p), []
+            ).append(rec)
+    return _reassemble(grouped, specs, node_counts)
+
+
 def sweep_system(
     preset: SystemPreset,
     collectives: Sequence[str],
@@ -770,6 +863,7 @@ def sweep_system(
     disk_dir: str | os.PathLike | None = None,
     profile_engine: str | None = None,
     faults: FaultSpec | None = None,
+    cell_sink=None,
 ) -> list[SweepRecord]:
     """Evaluate every applicable algorithm across the grid.
 
@@ -790,6 +884,15 @@ def sweep_system(
     :class:`~repro.faults.FaultSpec`); the scenario label lands in every
     record.  Like the other cache knobs it is ignored when an explicit
     ``cache`` is passed.
+
+    ``cell_sink`` (a :class:`~repro.checkpoint.journal.GridJournal`)
+    streams each finished ``(collective, p)`` cell into a write-ahead
+    journal and serves already-journaled cells on resume; records are
+    identical to an unjournaled sweep in either execution mode.  With a
+    sink active the sweep also honors graceful drain: a pending
+    SIGINT/SIGTERM raises
+    :class:`~repro.runtime.errors.InterruptedRunError` at the next cell
+    boundary instead of starting new work.
 
     Example (one-cell grid)::
 
@@ -820,7 +923,12 @@ def sweep_system(
         if workers is not None and workers > 1:
             records = _sweep_parallel(
                 preset, cache, specs, node_counts, vector_bytes, params,
-                max_p, ppn, workers,
+                max_p, ppn, workers, cell_sink=cell_sink,
+            )
+        elif cell_sink is not None:
+            records = _evaluate_cells(
+                preset, cache, specs, node_counts, vector_bytes, params,
+                max_p, ppn, cell_sink,
             )
         else:
             records = _evaluate_grid(
@@ -915,10 +1023,7 @@ _RETRIABLE = (BrokenExecutor, TimeoutError, _FuturesTimeout, OSError)
 
 
 def _shard_timeout() -> float:
-    try:
-        return float(os.environ.get("REPRO_SHARD_TIMEOUT", _SHARD_TIMEOUT_S))
-    except ValueError:
-        return _SHARD_TIMEOUT_S
+    return env_float("REPRO_SHARD_TIMEOUT", _SHARD_TIMEOUT_S)
 
 
 #: active :func:`shard_fallback_scope` tokens (innermost last); inside a
@@ -998,18 +1103,59 @@ def _sweep_shard(
             )
 
 
+def _pool_worker_init() -> None:
+    """Detach each pool worker from drain signals; die with the parent.
+
+    Workers are forked while the parent's graceful-drain handlers
+    (:mod:`repro.checkpoint.drain`) may be installed and would inherit
+    them — a terminal's Ctrl-C or a scheduler's group-wide SIGTERM must
+    reach only the *parent*, which coordinates the drain and lets
+    in-flight shards finish, so workers ignore both signals.  And a
+    SIGKILLed campaign (OOM killer, the chaos harness) must not leave
+    workers orphaned and blocked forever on a dead call queue: on Linux
+    every worker asks the kernel to SIGKILL it when its parent dies
+    (``PR_SET_PDEATHSIG``; SIGKILL because ordinary signals are ignored
+    per the above).  Elsewhere that part is a no-op; normal pool
+    shutdown is unaffected either way.
+    """
+    import signal as _signal
+
+    _signal.signal(_signal.SIGINT, _signal.SIG_IGN)
+    _signal.signal(_signal.SIGTERM, _signal.SIG_IGN)
+    try:  # pragma: no cover - trivially platform-dependent
+        import ctypes
+
+        libc = ctypes.CDLL(None, use_errno=True)
+        libc.prctl(1, _signal.SIGKILL, 0, 0, 0)  # 1 == PR_SET_PDEATHSIG
+    except Exception:
+        pass
+
+
 def _run_shard_round(
-    shard_args: dict[int, tuple], workers: int, timeout: float
-) -> tuple[dict[int, list[SweepRecord]], list[int]]:
-    """One process-pool round; returns ``(results by cell, failed cells)``.
+    shard_args: dict[int, tuple],
+    workers: int,
+    timeout: float,
+    on_result=None,
+) -> tuple[dict[int, list[SweepRecord]], list[int], list[int]]:
+    """One process-pool round; ``(results by cell, failed, abandoned)``.
 
     Only pool-infrastructure failures (crashed worker, hung shard, broken
     pipe) land in the failed list; deterministic exceptions raised *by*
-    shard code propagate to the caller unchanged.
+    shard code propagate to the caller unchanged.  ``on_result`` is
+    called with ``(cell index, records)`` as each shard is absorbed — the
+    journal streaming hook, invoked in deterministic submission order.
+
+    Under a graceful drain (:func:`~repro.checkpoint.drain.
+    drain_requested`) not-yet-running futures are cancelled and returned
+    as *abandoned* — never failed, they must not be retried — while
+    in-flight shards are awaited (and journaled) as usual.
     """
     results: dict[int, list[SweepRecord]] = {}
     failed: list[int] = []
-    pool = ProcessPoolExecutor(max_workers=workers)
+    abandoned: list[int] = []
+    pool = ProcessPoolExecutor(
+        max_workers=workers, initializer=_pool_worker_init
+    )
     try:
         futures: dict[int, object] = {}
         for i, args in shard_args.items():
@@ -1018,14 +1164,25 @@ def _run_shard_round(
             except _RETRIABLE:
                 failed.append(i)
         for i, fut in futures.items():
+            if drain_requested() is not None and fut.cancel():
+                abandoned.append(i)
+                continue
             try:
-                results[i] = fut.result(timeout=timeout)
+                recs = fut.result(timeout=timeout)
             except _RETRIABLE:
                 failed.append(i)
+                continue
+            if drain_requested() is not None:
+                # this shard was in flight when the drain was requested;
+                # its result is still absorbed and journaled
+                obs.inc("checkpoint.drain.inflight")
+            results[i] = recs
+            if on_result is not None:
+                on_result(i, recs)
     finally:
         # don't wait: a hung worker must not hang the parent too
         pool.shutdown(wait=False, cancel_futures=True)
-    return results, failed
+    return results, failed, abandoned
 
 
 def _sweep_parallel(
@@ -1038,6 +1195,7 @@ def _sweep_parallel(
     max_p: dict[str, int] | None,
     ppn: int,
     workers: int,
+    cell_sink=None,
 ) -> list[SweepRecord]:
     """Fan ``(collective, p)`` cells over a process pool, preserving order.
 
@@ -1048,19 +1206,16 @@ def _sweep_parallel(
     correctness or completeness.  Set ``REPRO_SHARD_FALLBACK=0`` to raise
     :class:`~repro.runtime.errors.WorkerShardError` instead of falling
     back (CI setups that want crashes loud).
+
+    ``cell_sink`` streams finished cells into the record journal (and
+    serves journaled cells on resume) exactly as in the serial path; a
+    pending graceful drain stops new dispatch at the next round boundary
+    and raises :class:`~repro.runtime.errors.InterruptedRunError` after
+    in-flight shards have been absorbed.
     """
-    # Pre-sample every mapping in the exact first-touch order of the serial
-    # sweep so scheduler allocations match it draw for draw.
-    cells: list[tuple[str, int]] = []
-    for spec in specs:
-        for p in node_counts:
-            if max_p and p > max_p.get(spec.collective, p):
-                continue
-            if not cache.applicable(spec, p, ppn):
-                continue
-            cache.mapping_for(p, ppn)
-            if (spec.collective, p) not in cells:
-                cells.append((spec.collective, p))
+    # Mappings are pre-sampled in the exact first-touch order of the serial
+    # sweep, so scheduler allocations match it draw for draw.
+    cells = _grid_cells(cache, specs, node_counts, max_p, ppn)
     algorithm_names = tuple(sorted({s.name for s in specs})) if specs else None
     disk_dir = str(cache.disk_dir) if cache.disk_dir is not None else None
     shard_args = {
@@ -1092,23 +1247,44 @@ def _sweep_parallel(
                 (rec.collective, rec.algorithm, rec.p), []
             ).append(rec)
 
+    def _on_result(i: int, recs: list[SweepRecord]) -> None:
+        _absorb(recs)
+        if cell_sink is not None:
+            coll, p = cells[i]
+            cell_sink.store(coll, p, recs)
+
     obs.inc("shard.cells", len(cells))
     pending = dict(shard_args)
+    if cell_sink is not None:
+        cell_sink.plan(cells)
+        for i, (coll, p) in enumerate(cells):
+            recs = cell_sink.lookup(coll, p)
+            if recs is not None:
+                _absorb(recs)
+                pending.pop(i)
     for _round in range(1 + _SHARD_RETRIES):
         if not pending:
             break
+        sig = drain_requested()
+        if sig is not None and cell_sink is not None:
+            raise cell_sink.interrupted_error(sig)
         if _round:
             obs.inc("shard.retries", len(pending))
         with obs.span(
             "shard.round", round=_round, shards=len(pending), workers=workers
         ):
-            results, failed = _run_shard_round(pending, workers, timeout)
-        for i, recs in results.items():
-            _absorb(recs)
-        pending = {i: shard_args[i] for i in sorted(failed)}
+            results, failed, abandoned = _run_shard_round(
+                pending, workers, timeout, _on_result
+            )
+        pending = {
+            i: shard_args[i] for i in sorted({*failed, *abandoned})
+        }
     if pending:
+        sig = drain_requested()
+        if sig is not None and cell_sink is not None:
+            raise cell_sink.interrupted_error(sig)
         lost = [cells[i] for i in sorted(pending)]
-        if os.environ.get("REPRO_SHARD_FALLBACK", "1") == "0":
+        if not env_flag("REPRO_SHARD_FALLBACK", True):
             raise WorkerShardError(
                 f"{len(lost)} shard(s) failed after {1 + _SHARD_RETRIES} "
                 f"pool rounds: {lost}"
@@ -1127,16 +1303,16 @@ def _sweep_parallel(
                 RuntimeWarning,
             )
         for i in sorted(pending):
+            sig = drain_requested()
+            if sig is not None and cell_sink is not None:
+                raise cell_sink.interrupted_error(sig)
             coll, p = cells[i]
             cell_specs = [s for s in specs if s.collective == coll]
-            _absorb(
+            _on_result(
+                i,
                 _evaluate_grid(
                     preset, cache, cell_specs, (p,), vector_bytes, params,
                     max_p, ppn,
-                )
+                ),
             )
-    records: list[SweepRecord] = []
-    for spec in specs:
-        for p in node_counts:
-            records.extend(grouped.get((spec.collective, spec.name, p), ()))
-    return records
+    return _reassemble(grouped, specs, node_counts)

@@ -1,0 +1,48 @@
+"""Crash-safe campaign execution: journal, resume, drain, chaos.
+
+The preemption-tolerance layer for campaign-scale sweeps.  A journaled
+run (``repro campaign M --journal DIR``) streams every completed cell
+into a CRC'd, fsynced write-ahead journal; a killed run resumes
+(``--resume``) byte-identical to an uninterrupted one; SIGINT/SIGTERM
+drain gracefully instead of vaporizing progress; and a seeded chaos
+harness proves all of it by killing the process on purpose.
+
+* :mod:`repro.checkpoint.journal` — the on-disk format and the
+  campaign/grid journal objects the sweep layer streams into
+* :mod:`repro.checkpoint.drain` — first-signal-drains,
+  second-signal-aborts handling
+* :mod:`repro.checkpoint.chaos` — ``REPRO_CHAOS`` fault injection at
+  cell boundaries
+"""
+
+from repro.checkpoint.chaos import CHAOS_ENV, chaos_boundary
+from repro.checkpoint.drain import drain_requested, drain_scope
+from repro.checkpoint.journal import (
+    JOURNAL_SCHEMA,
+    JOURNAL_VERSION,
+    CampaignJournal,
+    GridJournal,
+    JournalDoc,
+    JournalWriter,
+    journal_path,
+    manifest_digest,
+    read_journal,
+    summarize_journal,
+)
+
+__all__ = [
+    "CHAOS_ENV",
+    "chaos_boundary",
+    "drain_requested",
+    "drain_scope",
+    "JOURNAL_SCHEMA",
+    "JOURNAL_VERSION",
+    "CampaignJournal",
+    "GridJournal",
+    "JournalDoc",
+    "JournalWriter",
+    "journal_path",
+    "manifest_digest",
+    "read_journal",
+    "summarize_journal",
+]

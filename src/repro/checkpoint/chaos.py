@@ -1,0 +1,128 @@
+"""Seeded chaos injection: kill the campaign at a random cell boundary.
+
+``REPRO_CHAOS=kill_after=N[,seed=S][,signal=kill|term|int]`` arms a
+process-wide boundary counter that :meth:`GridJournal.store
+<repro.checkpoint.journal.GridJournal.store>` ticks each time a *new*
+cell lands in the journal.  When the counter reaches the armed boundary
+the process signals itself:
+
+* ``signal=kill`` (the default) is ``SIGKILL`` — the OOM-killer
+  simulation: no handlers, no atexit, no flush beyond what the journal
+  already fsynced.  Resume-to-identical after *this* is the whole
+  point of the write-ahead design.
+* ``signal=term`` / ``signal=int`` deliver ``SIGTERM``/``SIGINT``
+  instead, exercising the real drain path (exit code 9) at a
+  deterministic boundary — no timing races in tests.
+
+With ``seed=S`` the boundary is drawn uniformly from ``[1, N]`` by
+``random.Random(S)`` (reproducible randomness for the chaos driver);
+without a seed the boundary is exactly ``N``.  The counter only ticks on
+journal *stores*, never on resume skips, so every chaos-interrupted
+rerun journals at least one new cell before dying — a
+kill/resume/kill/… loop always terminates.
+
+The variable is parsed once per process; an unparsable value warns
+(:class:`RuntimeWarning`, once) and disables injection — chaos config
+must never take down a production run on its own.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import sys
+import warnings
+
+from repro import obs
+
+__all__ = ["CHAOS_ENV", "cell_boundary", "chaos_boundary"]
+
+CHAOS_ENV = "REPRO_CHAOS"
+
+_SIGNALS = {
+    "kill": signal.SIGKILL,
+    "term": signal.SIGTERM,
+    "int": signal.SIGINT,
+}
+
+#: ``[parsed?, boundary|None, signal|None, ticks]`` — process-global by
+#: design: chaos is about killing *this* process
+_STATE: list = [False, None, None, 0]
+
+
+def _parse(raw: str):
+    """``(boundary, signal)`` from a ``REPRO_CHAOS`` value, or ``None``."""
+    kill_after = None
+    seed = None
+    sig = signal.SIGKILL
+    for part in raw.split(","):
+        key, eq, value = part.strip().partition("=")
+        if not eq:
+            raise ValueError(f"expected key=value, got {part!r}")
+        if key == "kill_after":
+            kill_after = int(value)
+        elif key == "seed":
+            seed = int(value)
+        elif key == "signal":
+            if value not in _SIGNALS:
+                raise ValueError(f"unknown signal {value!r}")
+            sig = _SIGNALS[value]
+        else:
+            raise ValueError(f"unknown key {key!r}")
+    if kill_after is None or kill_after < 1:
+        raise ValueError("kill_after must be a positive integer")
+    boundary = (
+        random.Random(seed).randint(1, kill_after) if seed is not None
+        else kill_after
+    )
+    return boundary, sig
+
+
+def _load() -> None:
+    if _STATE[0]:
+        return
+    _STATE[0] = True
+    raw = os.environ.get(CHAOS_ENV)
+    if not raw:
+        return
+    try:
+        _STATE[1], _STATE[2] = _parse(raw)
+    except ValueError as exc:
+        warnings.warn(
+            f"{CHAOS_ENV}={raw!r} is unparsable ({exc}); chaos injection "
+            "disabled",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return
+    obs.inc("checkpoint.chaos.armed")
+
+
+def chaos_boundary() -> int | None:
+    """The armed kill boundary (for diagnostics), or ``None`` when off."""
+    _load()
+    return _STATE[1]
+
+
+def cell_boundary() -> None:
+    """Tick the chaos counter; kill the process at the armed boundary.
+
+    Called by the journal on every cell *store* (after the fsync — the
+    dying run's last cell is always durable).  A no-op unless
+    ``REPRO_CHAOS`` armed a boundary.
+    """
+    _load()
+    boundary = _STATE[1]
+    if boundary is None:
+        return
+    _STATE[3] += 1
+    if _STATE[3] < boundary:
+        return
+    sys.stderr.write(
+        f"# chaos: boundary {boundary} reached, signalling self with "
+        f"{signal.Signals(_STATE[2]).name}\n"
+    )
+    sys.stderr.flush()
+    _STATE[1] = None  # SIGTERM/SIGINT return here; never fire twice
+    os.kill(os.getpid(), _STATE[2])

@@ -24,7 +24,9 @@ Example::
 
 from __future__ import annotations
 
+import math
 import os
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro import obs
@@ -36,8 +38,10 @@ from repro.analysis.sweep import (
     sweep_system,
     sweep_torus,
 )
+from repro.checkpoint import CampaignJournal, drain_requested, drain_scope
 from repro.cli.manifest import CampaignManifest
 from repro.faults import FaultSpec
+from repro.model.compiled import resolve_profile_engine
 from repro.runtime.errors import FaultSpecError
 from repro.systems import system_for
 
@@ -80,6 +84,36 @@ class CampaignResult:
     skipped: list[str] = field(default_factory=list)
 
 
+def _torus_grid(preset, grid, engine: str, grid_journal) -> list[SweepRecord]:
+    """One torus grid, journaled as a single cell when a journal is on.
+
+    Torus sweeps build a handful of schedules and are atomic from the
+    journal's point of view: the whole grid is one ``("<torus>", ranks)``
+    cell — planned, drained, resumed, and chaos-ticked exactly like a
+    ``(collective, p)`` sweep cell.
+    """
+    cell = ("<torus>", math.prod(grid.torus_dims))
+    if grid_journal is not None:
+        sig = drain_requested()
+        if sig is not None:
+            raise grid_journal.interrupted_error(sig)
+        grid_journal.plan([cell])
+        cached = grid_journal.lookup(*cell)
+        if cached is not None:
+            return cached
+    records = sweep_torus(
+        preset,
+        grid.torus_dims,
+        grid.collectives,
+        vector_bytes=grid.vector_bytes,
+        algorithms=grid.algorithms,
+        profile_engine=engine,
+    )
+    if grid_journal is not None:
+        grid_journal.store(cell[0], cell[1], records)
+    return records
+
+
 def run_campaign(
     manifest: CampaignManifest,
     *,
@@ -88,6 +122,8 @@ def run_campaign(
     cache: ProfileCache | None = None,
     profile_engine: str | None = None,
     faults: tuple[FaultSpec, ...] | None = None,
+    journal: str | os.PathLike | None = None,
+    resume: bool = False,
 ) -> CampaignResult:
     """Run every grid of ``manifest`` and, if requested, summarise.
 
@@ -112,6 +148,15 @@ def run_campaign(
     scenario with a fault timeline requires the resolved engine to be
     ``"des"`` (:class:`~repro.runtime.errors.DESEngineError` otherwise,
     CLI exit code 8).
+
+    ``journal=DIR`` makes the run crash-safe: every completed cell is
+    streamed into a write-ahead record journal under ``DIR`` (see
+    :mod:`repro.checkpoint`), SIGINT/SIGTERM drain gracefully
+    (:class:`~repro.runtime.errors.InterruptedRunError`, CLI exit
+    code 9) instead of losing progress, and ``resume=True`` skips the
+    journaled cells of a dead run — the resumed ``CampaignResult`` is
+    byte-identical to an uninterrupted one.  Without ``journal`` the
+    ``resume`` flag is ignored and behavior is unchanged.
 
     Example::
 
@@ -138,59 +183,79 @@ def run_campaign(
             "an explicit cache only combines with the single pristine "
             "scenario; fault campaigns build one cache per scenario"
         )
+    run_journal: CampaignJournal | None = None
+    if journal is not None:
+        engine_label = (
+            cache.engine if cache is not None
+            else resolve_profile_engine(profile_engine)
+        )
+        run_journal = CampaignJournal(
+            journal, manifest, engine=engine_label, scenarios=scenarios,
+            resume=resume,
+        )
     records: list[SweepRecord] = []
-    with shard_fallback_scope(), obs.span(
-        "campaign.run",
-        campaign=manifest.name,
-        system=manifest.system,
-        scenarios=len(scenarios),
-        grids=len(manifest.grids),
-    ):
-        for scenario in scenarios:
-            scenario_cache = cache or ProfileCache(
-                preset,
-                placement=manifest.placement,
-                seed=manifest.seed,
-                busy_fraction=manifest.busy_fraction,
-                disk_dir=disk_dir,
-                profile_engine=profile_engine,
-                faults=scenario,
-            )
-            for g, grid in enumerate(manifest.grids):
-                with obs.span(
-                    "campaign.grid",
-                    grid=g,
-                    scenario=scenario.label,
-                    collectives=",".join(grid.collectives),
-                ):
-                    if grid.torus_dims is not None:
-                        # torus grids build one schedule per catalog entry —
-                        # cheap enough that the profile cache / worker knobs
-                        # don't apply
+    signal_ctx = drain_scope() if run_journal is not None else nullcontext()
+    try:
+        with shard_fallback_scope(), signal_ctx, obs.span(
+            "campaign.run",
+            campaign=manifest.name,
+            system=manifest.system,
+            scenarios=len(scenarios),
+            grids=len(manifest.grids),
+        ):
+            for scenario in scenarios:
+                scenario_cache = cache or ProfileCache(
+                    preset,
+                    placement=manifest.placement,
+                    seed=manifest.seed,
+                    busy_fraction=manifest.busy_fraction,
+                    disk_dir=disk_dir,
+                    profile_engine=profile_engine,
+                    faults=scenario,
+                )
+                for g, grid in enumerate(manifest.grids):
+                    grid_journal = (
+                        run_journal.grid_scope(
+                            scenario.label, scenario.timeline_label, g
+                        )
+                        if run_journal is not None else None
+                    )
+                    with obs.span(
+                        "campaign.grid",
+                        grid=g,
+                        scenario=scenario.label,
+                        collectives=",".join(grid.collectives),
+                    ):
+                        if grid.torus_dims is not None:
+                            # torus grids build one schedule per catalog
+                            # entry — cheap enough that the profile cache /
+                            # worker knobs don't apply
+                            records.extend(
+                                _torus_grid(
+                                    preset, grid, scenario_cache.engine,
+                                    grid_journal,
+                                )
+                            )
+                            continue
                         records.extend(
-                            sweep_torus(
+                            sweep_system(
                                 preset,
-                                grid.torus_dims,
                                 grid.collectives,
+                                node_counts=grid.node_counts,
                                 vector_bytes=grid.vector_bytes,
                                 algorithms=grid.algorithms,
-                                profile_engine=scenario_cache.engine,
+                                max_p=grid.max_p,
+                                ppn=grid.ppn,
+                                cache=scenario_cache,
+                                workers=workers,
+                                cell_sink=grid_journal,
                             )
                         )
-                        continue
-                    records.extend(
-                        sweep_system(
-                            preset,
-                            grid.collectives,
-                            node_counts=grid.node_counts,
-                            vector_bytes=grid.vector_bytes,
-                            algorithms=grid.algorithms,
-                            max_p=grid.max_p,
-                            ppn=grid.ppn,
-                            cache=scenario_cache,
-                            workers=workers,
-                        )
-                    )
+    finally:
+        # the journal must be durable even when InterruptedRunError (or
+        # anything else) is propagating — resume depends on it
+        if run_journal is not None:
+            run_journal.close()
     result = CampaignResult(manifest, records)
     if manifest.summary is not None:
         result.summaries, result.skipped = duel_summaries(

@@ -797,15 +797,19 @@ def _summarize_trace(name: str, data: dict) -> dict:
 def cmd_stats(args) -> int:
     """``repro stats`` — summarize traces/sidecars, or inspect live caches.
 
-    FILE is either a Chrome trace written by ``--trace``/``REPRO_TRACE``
-    or its ``.stats.json`` sidecar.  Exit codes: 0 ok, 1 ``--validate``
-    found schema violations, 2 usage error.
+    FILE is a Chrome trace written by ``--trace``/``REPRO_TRACE``, its
+    ``.stats.json`` sidecar, or a record journal written by ``repro
+    campaign --journal`` (summarized as cells done/remaining per scenario
+    plus the resume count — the look-before-you-resume view of a dead
+    run).  Exit codes: 0 ok, 1 ``--validate`` found schema violations,
+    2 usage error, 10 unusable journal.
 
     Example::
 
         $ repro campaign campaigns/table3_lumi.toml --trace run.trace.json
         $ repro stats run.trace.stats.json
         $ repro stats run.trace.json --validate
+        $ repro stats runs/table3-lumi.journal
         $ repro stats --caches
     """
     import json as _json
@@ -828,10 +832,37 @@ def cmd_stats(args) -> int:
         _emit(text, args.output)
         return 0
     if not args.file:
-        return _fail("stats needs a FILE (trace or .stats.json) or --caches")
+        return _fail("stats needs a FILE (trace, .stats.json, or journal) "
+                     "or --caches")
     try:
-        data = _json.loads(Path(args.file).read_text())
-    except (OSError, _json.JSONDecodeError) as exc:
+        # lenient decode: a corrupt journal must still reach the sniff below
+        # (its sealed header line is sound ASCII) to get the exit-10 path
+        raw = Path(args.file).read_bytes().decode("utf-8", "replace")
+    except OSError as exc:
+        return _fail(f"{args.file}: cannot read ({exc})")
+    # a record journal is JSONL, not JSON — sniff its sealed header before
+    # attempting to parse the file as one document
+    if '"repro/journal"' in raw.partition("\n")[0]:
+        from repro.checkpoint import read_journal, summarize_journal
+
+        summary = summarize_journal(read_journal(args.file))
+        if args.validate:
+            tail = " (torn tail dropped)" if summary["truncated_tail"] else ""
+            print(
+                f"{args.file}: ok ({summary['cells_done']} cell(s) "
+                f"journaled, {summary['resumes']} resume(s)){tail}"
+            )
+            return 0
+        text = (
+            _json.dumps(summary, indent=2, sort_keys=True)
+            if args.format == "json"
+            else fmt.journal_stats_text(summary)
+        )
+        _emit(text, args.output)
+        return 0
+    try:
+        data = _json.loads(raw)
+    except _json.JSONDecodeError as exc:
         return _fail(f"{args.file}: cannot read ({exc})")
     if isinstance(data, dict) and data.get("schema") == obs.STATS_SCHEMA:
         if args.validate:
@@ -881,17 +912,34 @@ def cmd_stats(args) -> int:
 def cmd_campaign(args) -> int:
     """``repro campaign`` — run a TOML/JSON manifest end to end.
 
+    ``--journal DIR`` makes the run crash-safe (cells stream into a
+    write-ahead journal; SIGINT/SIGTERM drain gracefully with exit
+    code 9) and ``--resume`` picks a dead run back up byte-identically.
+
     Example::
 
         $ repro campaign campaigns/table3_lumi.toml --workers 8
+        $ repro campaign campaigns/table3_lumi.toml --journal runs/
+        $ repro campaign campaigns/table3_lumi.toml --journal runs/ --resume
     """
     try:
         manifest = load_manifest(args.manifest)
     except (ManifestError, FileNotFoundError) as exc:
         return _fail(str(exc))
+    if args.resume and not args.journal:
+        return _fail("--resume needs --journal DIR (the journal to resume)")
+    if args.journal:
+        from repro.checkpoint import journal_path
+
+        print(
+            f"# journal: {journal_path(args.journal, manifest.name)}"
+            + (" (resuming)" if args.resume else ""),
+            file=sys.stderr,
+        )
     result = run_campaign(
         manifest, workers=args.workers, disk_dir=args.disk_cache,
         profile_engine=args.profile_engine, faults=_parse_faults(args),
+        journal=args.journal, resume=args.resume,
     )
     cells = len({r.key for r in result.records})
     print(

@@ -397,6 +397,52 @@ def trace_stats_json(doc) -> str:
     return json.dumps(doc, indent=2, sort_keys=True)
 
 
+def journal_stats_text(summary) -> str:
+    """A record-journal summary (``repro stats RUN.journal``) as text.
+
+    The look-before-you-resume view of a dead run: how many cells each
+    scenario has journaled, how many a ``--resume`` would still compute.
+
+    Example::
+
+        >>> print(journal_stats_text({
+        ...     "journal": "t.journal", "campaign": "tiny", "system": "lumi",
+        ...     "engine": "compiled", "manifest_digest": "ab12", "resumes": 1,
+        ...     "truncated_tail": False, "cells_done": 3, "cells_planned": 4,
+        ...     "scenarios": {"none": {"planned": 4, "done": 3, "records": 96,
+        ...                            "remaining": 1}}}))
+        journal: t.journal  campaign: tiny (lumi, compiled)  digest: ab12
+        cells: 3/4 done, 1 remaining  resumes: 1
+        <BLANKLINE>
+        scenario      done  planned  remaining  records
+        none             3        4          1       96
+    """
+    lines = [
+        f"journal: {summary['journal']}  campaign: {summary['campaign']} "
+        f"({summary['system']}, {summary['engine']})  "
+        f"digest: {summary['manifest_digest']}",
+        f"cells: {summary['cells_done']}/{summary['cells_planned']} done, "
+        f"{summary['cells_planned'] - summary['cells_done']} remaining  "
+        f"resumes: {summary['resumes']}"
+        + ("  (torn tail dropped)" if summary["truncated_tail"] else ""),
+    ]
+    scenarios = summary["scenarios"]
+    if scenarios:
+        width = max(max(len(n) for n in scenarios), len("scenario"))
+        lines += [
+            "",
+            f"{'scenario':<{width}}  {'done':>4}  {'planned':>7}  "
+            f"{'remaining':>9}  {'records':>7}",
+        ]
+        for name in sorted(scenarios):
+            row = scenarios[name]
+            lines.append(
+                f"{name:<{width}}  {row['done']:>4}  {row['planned']:>7}  "
+                f"{row['remaining']:>9}  {row['records']:>7}"
+            )
+    return "\n".join(lines)
+
+
 # -- schedules ---------------------------------------------------------------
 
 

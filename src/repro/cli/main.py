@@ -10,8 +10,12 @@ Exit codes (:data:`EXIT_CODES`): 0 success; 1 drift / verify failure;
 failure with fallback disabled; 7 corrupted or mismatched decision-table
 artifact; 8 DES engine error (timeline on a non-DES engine or on an
 analytic-only cell) — also returned, with complete record output, when a
-timeline stalled at least one flow mid-run.  Bench runs pass through
-pytest's code.
+timeline stalled at least one flow mid-run; 9 graceful drain — a
+journaled campaign stopped at a cell boundary after SIGINT/SIGTERM with
+its progress flushed (resume with ``--resume``); 10 unusable record
+journal (corrupt beyond the torn tail, or sealed for a different
+campaign); 130 immediate interrupt (``KeyboardInterrupt`` / second
+signal).  Bench runs pass through pytest's code.
 
 Example::
 
@@ -31,6 +35,8 @@ from repro.runtime.errors import (
     CacheCorruptionError,
     DESEngineError,
     FaultSpecError,
+    InterruptedRunError,
+    JournalError,
     TopologyPartitionedError,
     TuneArtifactError,
     WorkerShardError,
@@ -47,6 +53,8 @@ EXIT_CODES: dict[type[Exception], int] = {
     WorkerShardError: 6,
     TuneArtifactError: 7,
     DESEngineError: 8,
+    InterruptedRunError: 9,
+    JournalError: 10,
 }
 
 #: exit code for a run whose records include stalled DES cells (the run
@@ -384,6 +392,18 @@ def build_parser() -> argparse.ArgumentParser:
         "reproductions).",
     )
     p.add_argument("manifest", help="path to a .toml or .json manifest")
+    p.add_argument(
+        "--journal", metavar="DIR", default=None,
+        help="stream every finished cell into a crash-safe record journal "
+        "under DIR; SIGINT/SIGTERM then drain gracefully (exit 9) instead "
+        "of losing progress (see docs/robustness.md)",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="resume a dead journaled run: skip already-journaled cells "
+        "and reproduce the uninterrupted result byte for byte "
+        "(requires --journal)",
+    )
     _add_faults(p)
     _add_execution_knobs(p)
     _add_record_format(p)
@@ -393,15 +413,19 @@ def build_parser() -> argparse.ArgumentParser:
     # stats
     p = sub.add_parser(
         "stats",
-        help="summarize a trace/stats file, or inspect the live memo caches",
+        help="summarize a trace/stats/journal file, or inspect memo caches",
         description="Post-run observability: FILE is a Chrome trace written "
-        "by --trace/REPRO_TRACE or its .stats.json sidecar; prints counter "
-        "totals and per-span aggregates.  --validate checks a trace against "
-        "the documented schema (exit 1 on violations); --caches prints the "
-        "current size of every registered memo cache instead.",
+        "by --trace/REPRO_TRACE, its .stats.json sidecar, or a record "
+        "journal written by `repro campaign --journal`; prints counter "
+        "totals and per-span aggregates (for a journal: cells done/remaining "
+        "per scenario and the resume count).  --validate checks a trace "
+        "against the documented schema, or a journal's CRC seals (exit 1 / "
+        "exit 10 on violations); --caches prints the current size of every "
+        "registered memo cache instead.",
     )
     p.add_argument("file", nargs="?", metavar="FILE",
-                   help="trace JSON or .stats.json sidecar to summarize")
+                   help="trace JSON, .stats.json sidecar, or record journal "
+                   "to summarize")
     p.add_argument("--caches", action="store_true",
                    help="print live memo-cache sizes (memo_cache_sizes()) "
                    "instead of reading a file")
@@ -444,3 +468,8 @@ def main(argv: list[str] | None = None) -> int:
             if isinstance(exc, cls):
                 return code
         raise AssertionError("unreachable")  # pragma: no cover
+    except KeyboardInterrupt:
+        # an unjournaled ^C (or the second signal of a drain) — the
+        # conventional 128+SIGINT code, distinct from graceful drain's 9
+        print("interrupted", file=sys.stderr)
+        return 130

@@ -47,6 +47,7 @@ from pathlib import Path
 from typing import Mapping
 
 from repro.obs import metrics as _metrics
+from repro.runtime.env import env_int
 
 __all__ = [
     "TRACE_ENV",
@@ -349,7 +350,9 @@ def shard_scope():
     inherited = _STATE
     state = _TraceState()
     state.events = []
-    state.t0_ns = int(os.environ.get(T0_ENV, time.perf_counter_ns()))
+    # a garbled inherited clock origin must not crash the shard — warn
+    # once and fall back to this process's own clock
+    state.t0_ns = env_int(T0_ENV, time.perf_counter_ns())
     state.pid = os.getpid()
     state.path = None
     state.spool_dir = Path(spool)

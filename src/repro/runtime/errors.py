@@ -18,6 +18,8 @@ __all__ = [
     "TuneArtifactError",
     "TuneQueryError",
     "DESEngineError",
+    "InterruptedRunError",
+    "JournalError",
 ]
 
 
@@ -81,6 +83,37 @@ class DESEngineError(RuntimeSubstrateError):
     (analytic-profile cells: ``alltoall`` and rank counts above
     ``ANALYTIC_THRESHOLD``), or when a timeline event is inapplicable to
     the fabric mid-run.  Mapped to CLI exit code 8.
+    """
+
+
+class InterruptedRunError(RuntimeSubstrateError):
+    """A campaign drained gracefully after SIGINT/SIGTERM.
+
+    Raised at the next cell boundary once a drain was requested: no new
+    cells are dispatched, in-flight shards finish (or time out), and the
+    record journal is flushed before this propagates.  Carries the
+    progress made so the CLI diagnostic (exit code 9) can tell the
+    operator how much of the run survives in the journal.
+    """
+
+    def __init__(self, signal_name: str, done: int, remaining: int):
+        self.signal_name = signal_name
+        self.done = done
+        self.remaining = remaining
+        super().__init__(
+            f"run drained after {signal_name}: {done} cell(s) journaled, "
+            f"{remaining} remaining (resume with --resume)"
+        )
+
+
+class JournalError(RuntimeSubstrateError):
+    """A record journal is unusable for the requested operation.
+
+    Raised when a journal file is corrupt beyond its torn tail (a bad
+    CRC followed by further entries), when its sealed header does not
+    match the campaign being resumed (different manifest digest, engine
+    or scenario set), or when a fresh run would clobber an existing
+    journal without ``--resume``.  Mapped to CLI exit code 10.
     """
 
 

@@ -12,6 +12,7 @@ import importlib
 import pkgutil
 import random
 import sys
+from contextlib import contextmanager
 from functools import _lru_cache_wrapper
 
 import pytest
@@ -97,6 +98,62 @@ class TestWorkerCrashRecovery:
         assert sweep_system(lumi(), workers=2, **SWEEP_KWARGS) == serial
 
 
+class TestConcurrentCacheWriters:
+    def test_two_processes_race_same_entries(self, tmp_path):
+        """Two processes cold-filling one disk cache must both succeed.
+
+        The fsync+rename publish protocol makes concurrent writers of the
+        same entry last-writer-wins with no torn intermediate state: a
+        reader either sees a complete entry or none at all.  Both racers
+        must produce the serial records, and the cache they leave behind
+        must serve a warm run bit-identically.
+        """
+        import subprocess
+        import sys as _sys
+
+        serial = sweep_system(lumi(), **SWEEP_KWARGS)
+        script = (
+            "import json, sys\n"
+            "from repro.analysis.sweep import sweep_system\n"
+            "from repro.systems import lumi\n"
+            "recs = sweep_system(lumi(), collectives=('allgather',),\n"
+            "                    node_counts=(8, 16),\n"
+            "                    vector_bytes=(1024, 65536),\n"
+            "                    disk_dir=sys.argv[1])\n"
+            "json.dump([r.to_dict() for r in recs], open(sys.argv[2], 'w'))\n"
+        )
+        procs = [
+            subprocess.Popen(
+                [_sys.executable, "-c", script, str(tmp_path / "cache"),
+                 str(tmp_path / f"out{i}.json")],
+                env={**__import__('os').environ, "PYTHONPATH": "src"},
+            )
+            for i in range(2)
+        ]
+        assert [p.wait(timeout=300) for p in procs] == [0, 0]
+        import json
+
+        expected = [r.to_dict() for r in serial]
+        for i in range(2):
+            got = json.load(open(tmp_path / f"out{i}.json"))
+            assert got == expected, f"racer {i} diverged"
+        # the surviving cache entries are sound: warm run, no warnings
+        with warnings_as_errors():
+            warm = sweep_system(
+                lumi(), disk_dir=tmp_path / "cache", **SWEEP_KWARGS
+            )
+        assert warm == serial
+
+
+@contextmanager
+def warnings_as_errors():
+    import warnings as _warnings
+
+    with _warnings.catch_warnings():
+        _warnings.simplefilter("error")
+        yield
+
+
 class TestMemoCacheRegistry:
     def _populate(self):
         sweep_system(lumi(), collectives=("allgather",), node_counts=(16,),
@@ -159,15 +216,22 @@ def _partitioning_seed() -> int:
 class TestCliExitCodes:
     def test_taxonomy_codes_distinct(self):
         codes = list(EXIT_CODES.values())
-        assert sorted(codes) == [3, 4, 5, 6, 7, 8]
+        assert sorted(codes) == [3, 4, 5, 6, 7, 8, 9, 10]
         assert EXIT_CODES[FaultSpecError] == 3
         assert EXIT_CODES[TopologyPartitionedError] == 4
         assert EXIT_CODES[CacheCorruptionError] == 5
         assert EXIT_CODES[WorkerShardError] == 6
-        from repro.runtime.errors import DESEngineError, TuneArtifactError
+        from repro.runtime.errors import (
+            DESEngineError,
+            InterruptedRunError,
+            JournalError,
+            TuneArtifactError,
+        )
 
         assert EXIT_CODES[TuneArtifactError] == 7
         assert EXIT_CODES[DESEngineError] == 8
+        assert EXIT_CODES[InterruptedRunError] == 9
+        assert EXIT_CODES[JournalError] == 10
 
     def test_bad_fault_spec_exits_3(self, capsys):
         code = main(["sweep", "--system", "lumi", "--collective", "bcast",
